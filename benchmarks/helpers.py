@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure-equivalent of the paper
+(see DESIGN.md, experiment index) and prints its rows so the numbers can be
+copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: max(len(col), *(len(format_value(row.get(col, "")))
+                                   for row in rows))
+              for col in columns}
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(format_value(row.get(col, "")).ljust(widths[col])
+                         for col in columns))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

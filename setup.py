@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 517
+editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of the Aethereal on-chip network interface "
+                 "(Radulescu et al., DATE 2004)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,39 @@
+"""Analytic service guarantees and their verification against simulation.
+
+Section 2 of the paper states the guarantees a GT connection receives:
+
+* throughput: ``N`` reserved slots give ``N * B_i`` bandwidth;
+* latency: bounded by the waiting time until the reserved slot arrives plus
+  the number of routers the data passes;
+* jitter: bounded by the maximum distance between two slot reservations.
+
+:mod:`repro.analysis.guarantees` computes these bounds from a slot pattern
+and a path length; :mod:`repro.analysis.verification` checks measured
+simulation results against them (experiments E4/E5).
+"""
+
+from repro.analysis.guarantees import (
+    GTGuarantees,
+    jitter_bound_slots,
+    latency_bound_flit_cycles,
+    slot_waiting_bound,
+    throughput_bound_words_per_flit_cycle,
+)
+from repro.analysis.verification import (
+    GuaranteeCheck,
+    VerificationReport,
+    verify_latency,
+    verify_throughput,
+)
+
+__all__ = [
+    "GTGuarantees",
+    "GuaranteeCheck",
+    "VerificationReport",
+    "jitter_bound_slots",
+    "latency_bound_flit_cycles",
+    "slot_waiting_bound",
+    "throughput_bound_words_per_flit_cycle",
+    "verify_latency",
+    "verify_throughput",
+]

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against or argues to replace.
+
+* :mod:`repro.baselines.software_stack` — a network interface whose protocol
+  stack runs in software on an embedded core (the Bhojwani & Mahapatra
+  comparison point: 47 instructions for packetization alone).
+* :mod:`repro.baselines.bus` — a shared on-chip bus with round-robin or TDMA
+  arbitration, the interconnect NoCs are meant to replace (scalability
+  claim (c) of the introduction).
+"""
+
+from repro.baselines.bus import BusSimulationResult, SharedBus, SharedBusMaster
+from repro.baselines.software_stack import SoftwareStackModel
+
+__all__ = [
+    "BusSimulationResult",
+    "SharedBus",
+    "SharedBusMaster",
+    "SoftwareStackModel",
+]

@@ -1,0 +1,84 @@
+"""Software protocol-stack baseline.
+
+Section 5 of the paper argues for a hardware protocol stack by comparing its
+4-10 cycle latency overhead against a software implementation, citing 47
+instructions *for packetization only* in the NI of Bhojwani & Mahapatra
+(reference [4]).  This model turns an instruction budget, a CPI and a core
+clock into cycles and nanoseconds so experiment E3 can reproduce the
+comparison, and also derives the message-rate ceiling a software stack
+imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.design.timing import (
+    PROTOTYPE_FREQUENCY_MHZ,
+    SOFTWARE_PACKETIZATION_INSTRUCTIONS,
+)
+
+
+@dataclass
+class SoftwareStackModel:
+    """A software NI protocol stack running on an embedded core."""
+
+    packetization_instructions: int = SOFTWARE_PACKETIZATION_INSTRUCTIONS
+    #: Instructions for the remaining per-message work (header parsing,
+    #: flow-control bookkeeping, scheduling); the paper only quotes the
+    #: packetization cost, so this defaults to zero for a conservative
+    #: comparison.
+    other_instructions: int = 0
+    cycles_per_instruction: float = 1.0
+    core_frequency_mhz: float = PROTOTYPE_FREQUENCY_MHZ
+
+    def __post_init__(self) -> None:
+        if self.packetization_instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        if self.cycles_per_instruction <= 0:
+            raise ValueError("CPI must be positive")
+        if self.core_frequency_mhz <= 0:
+            raise ValueError("core frequency must be positive")
+
+    # --------------------------------------------------------------- latency
+    @property
+    def instructions_per_message(self) -> int:
+        return self.packetization_instructions + self.other_instructions
+
+    @property
+    def cycles_per_message(self) -> float:
+        return self.instructions_per_message * self.cycles_per_instruction
+
+    @property
+    def latency_ns(self) -> float:
+        return self.cycles_per_message * 1e3 / self.core_frequency_mhz
+
+    # ------------------------------------------------------------ throughput
+    @property
+    def max_messages_per_second(self) -> float:
+        """The software stack serializes messages on the core."""
+        return self.core_frequency_mhz * 1e6 / self.cycles_per_message
+
+    def max_payload_gbit_s(self, words_per_message: int,
+                           word_bits: int = 32) -> float:
+        """Payload bandwidth ceiling imposed by per-message software cost."""
+        if words_per_message <= 0:
+            raise ValueError("messages must carry at least one word")
+        return (self.max_messages_per_second * words_per_message * word_bits
+                / 1e9)
+
+    # ------------------------------------------------------------ comparison
+    def compare_with_hardware(self, hardware_cycles: int,
+                              hardware_frequency_mhz: float =
+                              PROTOTYPE_FREQUENCY_MHZ) -> Dict[str, float]:
+        """Latency comparison rows for experiment E3."""
+        hardware_ns = hardware_cycles * 1e3 / hardware_frequency_mhz
+        return {
+            "software_cycles": self.cycles_per_message,
+            "software_ns": self.latency_ns,
+            "hardware_cycles": float(hardware_cycles),
+            "hardware_ns": hardware_ns,
+            "cycle_ratio": self.cycles_per_message / hardware_cycles,
+            "latency_ratio": self.latency_ns / hardware_ns,
+        }

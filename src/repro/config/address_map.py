@@ -1,0 +1,58 @@
+"""Global configuration address map.
+
+Every NI exposes its register file through its configuration port (CNIP).
+The configuration module sees a single memory map in which each NI occupies a
+64 Ki-word window; the configuration shell decodes the window to decide
+whether an access is local (executed directly) or must travel over the NoC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Size of the register window of one NI, in words.
+NI_WINDOW_WORDS = 1 << 16
+
+
+class AddressMapError(ValueError):
+    """Raised for unknown NIs or addresses outside every window."""
+
+
+class ConfigAddressMap:
+    """Assigns each NI a window in the global configuration address space."""
+
+    def __init__(self, ni_names: List[str]) -> None:
+        if not ni_names:
+            raise AddressMapError("address map needs at least one NI")
+        if len(set(ni_names)) != len(ni_names):
+            raise AddressMapError("duplicate NI names in address map")
+        self._names = list(ni_names)
+        self._bases: Dict[str, int] = {
+            name: index * NI_WINDOW_WORDS for index, name in enumerate(ni_names)}
+
+    @property
+    def ni_names(self) -> List[str]:
+        return list(self._names)
+
+    def base(self, ni_name: str) -> int:
+        try:
+            return self._bases[ni_name]
+        except KeyError as exc:
+            raise AddressMapError(f"unknown NI {ni_name!r}") from exc
+
+    def global_address(self, ni_name: str, local_address: int) -> int:
+        if not 0 <= local_address < NI_WINDOW_WORDS:
+            raise AddressMapError(
+                f"local address 0x{local_address:x} outside the NI window")
+        return self.base(ni_name) + local_address
+
+    def decode(self, global_address: int) -> Tuple[str, int]:
+        """Split a global address into (NI name, local register address)."""
+        index, local = divmod(global_address, NI_WINDOW_WORDS)
+        if not 0 <= index < len(self._names):
+            raise AddressMapError(
+                f"address 0x{global_address:x} outside every NI window")
+        return self._names[index], local
+
+    def __len__(self) -> int:
+        return len(self._names)

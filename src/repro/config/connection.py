@@ -1,0 +1,237 @@
+"""Connection specifications and the register programs that open them.
+
+A connection is composed of unidirectional point-to-point channels between a
+master and one or more slaves (Section 2).  Opening a connection means
+writing a handful of registers at the master-side and slave-side NIs (paper:
+5 and 3 registers respectively per master-slave pair) and reserving the TDM
+slots of any guaranteed-throughput channel.
+
+:func:`build_open_program` turns a :class:`ConnectionSpec` plus the allocated
+slots into the ordered list of :class:`RegisterWrite` operations — the same
+program is executed either instantly by the functional configurator (tests)
+or as DTL-MMIO transactions over the NoC by the centralized configuration
+manager (Figure 9, experiments E6/E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.kernel import NIKernel
+from repro.core.registers import (
+    REG_CREDIT_THRESHOLD,
+    REG_CTRL,
+    REG_DATA_THRESHOLD,
+    REG_PATH,
+    REG_REMOTE_QID,
+    REG_SPACE,
+    channel_register_address,
+    encode_ctrl,
+    encode_path,
+    slot_register_address,
+)
+from repro.network.noc import NoC
+
+
+class ConnectionError_(ValueError):
+    """Raised for inconsistent connection specifications."""
+
+
+@dataclass(frozen=True)
+class ChannelEndpointRef:
+    """A channel at a named NI (by global channel index within that NI)."""
+
+    ni: str
+    channel: int
+
+
+@dataclass
+class ChannelPairSpec:
+    """One master-slave pair of a connection: a request channel (master to
+    slave) and a response channel (slave to master)."""
+
+    master: ChannelEndpointRef
+    slave: ChannelEndpointRef
+    request_gt: bool = False
+    request_slots: int = 0
+    response_gt: bool = False
+    response_slots: int = 0
+    data_threshold: int = 1
+    credit_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.request_gt and self.request_slots <= 0:
+            raise ConnectionError_("GT request channel needs at least one slot")
+        if self.response_gt and self.response_slots <= 0:
+            raise ConnectionError_("GT response channel needs at least one slot")
+
+
+@dataclass
+class ConnectionSpec:
+    """A complete connection: point-to-point, narrowcast or multicast."""
+
+    name: str
+    kind: str = "p2p"  # p2p | narrowcast | multicast
+    pairs: List[ChannelPairSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("p2p", "narrowcast", "multicast"):
+            raise ConnectionError_(f"unknown connection kind {self.kind!r}")
+        if self.kind == "p2p" and len(self.pairs) > 1:
+            raise ConnectionError_("a point-to-point connection has one pair")
+
+    @property
+    def master_ni(self) -> str:
+        if not self.pairs:
+            raise ConnectionError_(f"connection {self.name} has no pairs")
+        return self.pairs[0].master.ni
+
+    def gt_channel_requests(self) -> List[Tuple[ChannelEndpointRef,
+                                                ChannelEndpointRef, int]]:
+        """(source endpoint, destination endpoint, slots) for each GT channel."""
+        requests = []
+        for pair in self.pairs:
+            if pair.request_gt:
+                requests.append((pair.master, pair.slave, pair.request_slots))
+            if pair.response_gt:
+                requests.append((pair.slave, pair.master, pair.response_slots))
+        return requests
+
+
+@dataclass
+class RegisterWrite:
+    """One register write of a configuration program."""
+
+    ni: str
+    address: int
+    value: int
+    #: The final write of a program requests an acknowledgement (Figure 9).
+    acknowledged: bool = False
+    note: str = ""
+
+
+def _channel_program(source_ni: str, source_kernel: NIKernel,
+                     source_channel: int, dest_kernel: NIKernel,
+                     dest_channel: int, path: Tuple[int, ...],
+                     gt: bool, slots: List[int],
+                     data_threshold: int, credit_threshold: int,
+                     note: str) -> List[RegisterWrite]:
+    """Register writes that open one unidirectional channel at its source NI."""
+    dest_queue_words = dest_kernel.channel(dest_channel).dest_queue.capacity
+    writes = [
+        RegisterWrite(source_ni,
+                      channel_register_address(source_channel, REG_PATH),
+                      encode_path(path), note=f"{note}: path"),
+        RegisterWrite(source_ni,
+                      channel_register_address(source_channel, REG_REMOTE_QID),
+                      dest_channel, note=f"{note}: remote queue id"),
+        RegisterWrite(source_ni,
+                      channel_register_address(source_channel, REG_SPACE),
+                      dest_queue_words, note=f"{note}: space (remote buffer)"),
+    ]
+    if data_threshold != 1:
+        writes.append(RegisterWrite(
+            source_ni,
+            channel_register_address(source_channel, REG_DATA_THRESHOLD),
+            data_threshold, note=f"{note}: data threshold"))
+    if credit_threshold != 1:
+        writes.append(RegisterWrite(
+            source_ni,
+            channel_register_address(source_channel, REG_CREDIT_THRESHOLD),
+            credit_threshold, note=f"{note}: credit threshold"))
+    for slot in slots:
+        writes.append(RegisterWrite(source_ni, slot_register_address(slot),
+                                    source_channel + 1,
+                                    note=f"{note}: slot {slot}"))
+    writes.append(RegisterWrite(source_ni,
+                                channel_register_address(source_channel, REG_CTRL),
+                                encode_ctrl(True, gt),
+                                note=f"{note}: enable"))
+    return writes
+
+
+def build_open_program(noc: NoC, kernels: Dict[str, NIKernel],
+                       spec: ConnectionSpec,
+                       slot_assignment: Optional[Dict[Tuple[str, int],
+                                                      List[int]]] = None
+                       ) -> List[RegisterWrite]:
+    """The register writes that open every channel of ``spec``.
+
+    ``slot_assignment`` maps (NI name, channel index) of each GT channel onto
+    its NI injection slots (produced by the slot allocator).  Channels are
+    opened in the order of Figure 9: for each pair, first the response
+    channel (slave to master), then the request channel (master to slave), so
+    that by the time the master can send, the return path exists.  The last
+    write of the whole program is marked ``acknowledged``.
+    """
+    slot_assignment = slot_assignment or {}
+    writes: List[RegisterWrite] = []
+    for pair in spec.pairs:
+        master_kernel = _kernel(kernels, pair.master.ni)
+        slave_kernel = _kernel(kernels, pair.slave.ni)
+        response_slots = slot_assignment.get((pair.slave.ni, pair.slave.channel), [])
+        request_slots = slot_assignment.get((pair.master.ni, pair.master.channel), [])
+        # Step 3 of Figure 9: response channel (slave -> master).
+        writes.extend(_channel_program(
+            source_ni=pair.slave.ni, source_kernel=slave_kernel,
+            source_channel=pair.slave.channel,
+            dest_kernel=master_kernel, dest_channel=pair.master.channel,
+            path=noc.route(pair.slave.ni, pair.master.ni),
+            gt=pair.response_gt, slots=response_slots,
+            data_threshold=pair.data_threshold,
+            credit_threshold=pair.credit_threshold,
+            note=f"{spec.name}: response {pair.slave.ni}->{pair.master.ni}"))
+        # Step 4 of Figure 9: request channel (master -> slave).
+        writes.extend(_channel_program(
+            source_ni=pair.master.ni, source_kernel=master_kernel,
+            source_channel=pair.master.channel,
+            dest_kernel=slave_kernel, dest_channel=pair.slave.channel,
+            path=noc.route(pair.master.ni, pair.slave.ni),
+            gt=pair.request_gt, slots=request_slots,
+            data_threshold=pair.data_threshold,
+            credit_threshold=pair.credit_threshold,
+            note=f"{spec.name}: request {pair.master.ni}->{pair.slave.ni}"))
+    if writes:
+        writes[-1].acknowledged = True
+    return writes
+
+
+def build_close_program(kernels: Dict[str, NIKernel],
+                        spec: ConnectionSpec,
+                        slot_assignment: Optional[Dict[Tuple[str, int],
+                                                       List[int]]] = None
+                        ) -> List[RegisterWrite]:
+    """Disable every channel of a connection and release its slots."""
+    slot_assignment = slot_assignment or {}
+    writes: List[RegisterWrite] = []
+    for pair in spec.pairs:
+        for endpoint in (pair.master, pair.slave):
+            _kernel(kernels, endpoint.ni)  # existence check
+            for slot in slot_assignment.get((endpoint.ni, endpoint.channel), []):
+                writes.append(RegisterWrite(endpoint.ni,
+                                            slot_register_address(slot), 0,
+                                            note=f"{spec.name}: free slot {slot}"))
+            writes.append(RegisterWrite(
+                endpoint.ni,
+                channel_register_address(endpoint.channel, REG_CTRL),
+                encode_ctrl(False, False),
+                note=f"{spec.name}: disable {endpoint.ni}.ch{endpoint.channel}"))
+    if writes:
+        writes[-1].acknowledged = True
+    return writes
+
+
+def count_register_writes(program: List[RegisterWrite]) -> Dict[str, int]:
+    """Register writes per NI (experiment E7 reports these counts)."""
+    counts: Dict[str, int] = {}
+    for write in program:
+        counts[write.ni] = counts.get(write.ni, 0) + 1
+    return counts
+
+
+def _kernel(kernels: Dict[str, NIKernel], name: str) -> NIKernel:
+    try:
+        return kernels[name]
+    except KeyError as exc:
+        raise ConnectionError_(f"unknown NI {name!r}") from exc

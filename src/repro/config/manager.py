@@ -1,0 +1,357 @@
+"""Configuration managers.
+
+Three ways of configuring the NoC are provided, matching Section 3 of the
+paper:
+
+* :class:`FunctionalConfigurator` — applies a register program directly to
+  the NI kernels.  This is not a hardware mechanism; it exists so that tests
+  and experiments that are not about configuration can set up connections
+  instantly and deterministically.
+* :class:`CentralizedConfigurationManager` — the model the prototype uses:
+  a single configuration module opens and closes connections by sending
+  DTL-MMIO transactions over the NoC (through a configuration shell) to the
+  CNIPs of the remote NIs.  Slot information lives in the central allocator,
+  so routers need no slot tables.
+* :class:`DistributedConfigurationModel` — the alternative the paper
+  discusses: several configuration ports operate concurrently, slot
+  information is kept in the routers, and conflicting tentative reservations
+  are rejected and retried.  This is a timed abstract model (it does not send
+  messages through the cycle simulator) used by experiment E6 to reproduce
+  the centralized-versus-distributed trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.connection import (
+    ConnectionSpec,
+    RegisterWrite,
+    build_close_program,
+    build_open_program,
+    count_register_writes,
+)
+from repro.config.slot_allocation import (
+    CentralizedSlotAllocator,
+    SlotAllocationError,
+    SlotRequest,
+    build_requests_for_connection,
+)
+from repro.core.kernel import NIKernel
+from repro.core.shells.config_shell import ConfigOperation, ConfigShell
+from repro.network.noc import NoC
+from repro.sim.stats import StatsRegistry
+
+
+class ConfigurationError(RuntimeError):
+    """Raised when a connection cannot be opened."""
+
+
+# --------------------------------------------------------------------------
+# Functional (instant) configuration
+# --------------------------------------------------------------------------
+class FunctionalConfigurator:
+    """Applies register programs directly (no NoC traffic, zero time)."""
+
+    def __init__(self, kernels: Dict[str, NIKernel],
+                 allocator: Optional[CentralizedSlotAllocator] = None) -> None:
+        self.kernels = dict(kernels)
+        self.allocator = allocator
+        self.stats = StatsRegistry()
+
+    def apply(self, program: List[RegisterWrite]) -> None:
+        for write in program:
+            kernel = self._kernel(write.ni)
+            kernel.write_register(write.address, write.value)
+            self.stats.counter("register_writes").increment()
+
+    def open_connection(self, noc: NoC, spec: ConnectionSpec
+                        ) -> List[RegisterWrite]:
+        """Allocate slots (if needed), build the program and apply it."""
+        assignment = {}
+        if self.allocator is not None:
+            for request in build_requests_for_connection(
+                    noc, spec, self.allocator.num_slots):
+                try:
+                    slots = self.allocator.allocate(request)
+                except SlotAllocationError as exc:
+                    raise ConfigurationError(str(exc)) from exc
+                assignment[request.owner] = slots
+        program = build_open_program(noc, self.kernels, spec, assignment)
+        self.apply(program)
+        return program
+
+    def close_connection(self, spec: ConnectionSpec) -> List[RegisterWrite]:
+        assignment = {}
+        if self.allocator is not None:
+            for pair in spec.pairs:
+                for endpoint in (pair.master, pair.slave):
+                    allocation = self.allocator.allocation_of(endpoint.ni,
+                                                              endpoint.channel)
+                    if allocation is not None:
+                        assignment[(endpoint.ni, endpoint.channel)] = \
+                            list(allocation.injection_slots)
+                        self.allocator.release(endpoint.ni, endpoint.channel)
+        program = build_close_program(self.kernels, spec, assignment)
+        self.apply(program)
+        return program
+
+    def _kernel(self, name: str) -> NIKernel:
+        try:
+            return self.kernels[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown NI {name!r}") from exc
+
+
+# --------------------------------------------------------------------------
+# Centralized configuration over the NoC
+# --------------------------------------------------------------------------
+@dataclass
+class ConnectionHandle:
+    """Tracks an open/close request issued through the configuration module."""
+
+    spec: ConnectionSpec
+    program: List[RegisterWrite]
+    operations: List[ConfigOperation] = field(default_factory=list)
+    slot_assignment: Dict[Tuple[str, int], List[int]] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return all(op.done for op in self.operations)
+
+    @property
+    def register_writes(self) -> int:
+        return len(self.program)
+
+    @property
+    def register_writes_per_ni(self) -> Dict[str, int]:
+        return count_register_writes(self.program)
+
+    @property
+    def completion_cycle(self) -> Optional[int]:
+        cycles = [op.complete_cycle for op in self.operations]
+        if any(c is None for c in cycles) or not cycles:
+            return None
+        return max(cycles)
+
+
+class CentralizedConfigurationManager:
+    """The centralized configuration module of the prototype (Figure 8/9)."""
+
+    def __init__(self, noc: NoC, kernels: Dict[str, NIKernel],
+                 config_shell: ConfigShell,
+                 allocator: Optional[CentralizedSlotAllocator] = None) -> None:
+        self.noc = noc
+        self.kernels = dict(kernels)
+        self.config_shell = config_shell
+        if allocator is None:
+            num_slots = (next(iter(kernels.values())).num_slots
+                         if kernels else 8)
+            allocator = CentralizedSlotAllocator(num_slots)
+        self.allocator = allocator
+        self.stats = StatsRegistry()
+        self.handles: List[ConnectionHandle] = []
+
+    def open_connection(self, spec: ConnectionSpec) -> ConnectionHandle:
+        assignment: Dict[Tuple[str, int], List[int]] = {}
+        for request in build_requests_for_connection(self.noc, spec,
+                                                     self.allocator.num_slots):
+            try:
+                assignment[request.owner] = self.allocator.allocate(request)
+            except SlotAllocationError as exc:
+                raise ConfigurationError(str(exc)) from exc
+        program = build_open_program(self.noc, self.kernels, spec, assignment)
+        handle = self._issue(spec, program)
+        handle.slot_assignment = assignment
+        return handle
+
+    def close_connection(self, spec: ConnectionSpec) -> ConnectionHandle:
+        assignment: Dict[Tuple[str, int], List[int]] = {}
+        for pair in spec.pairs:
+            for endpoint in (pair.master, pair.slave):
+                allocation = self.allocator.allocation_of(endpoint.ni,
+                                                          endpoint.channel)
+                if allocation is not None:
+                    assignment[(endpoint.ni, endpoint.channel)] = \
+                        list(allocation.injection_slots)
+                    self.allocator.release(endpoint.ni, endpoint.channel)
+        program = build_close_program(self.kernels, spec, assignment)
+        return self._issue(spec, program)
+
+    def _issue(self, spec: ConnectionSpec,
+               program: List[RegisterWrite]) -> ConnectionHandle:
+        handle = ConnectionHandle(spec=spec, program=program)
+        for write in program:
+            op = self.config_shell.write(write.ni, write.address, write.value,
+                                         acknowledged=write.acknowledged)
+            handle.operations.append(op)
+            self.stats.counter("register_writes").increment()
+        self.handles.append(handle)
+        return handle
+
+    def is_idle(self) -> bool:
+        return self.config_shell.is_idle()
+
+
+# --------------------------------------------------------------------------
+# Distributed configuration model (Section 3 trade-off)
+# --------------------------------------------------------------------------
+@dataclass
+class ConfigJob:
+    """One connection to open, as seen by the timing model."""
+
+    name: str
+    slot_requests: List[SlotRequest]
+    register_writes: int
+
+
+@dataclass
+class ConfigModelResult:
+    """Outcome of a configuration-model run (experiment E6 rows)."""
+
+    model: str
+    ports: int
+    total_cycles: int
+    register_writes: int
+    conflicts: int
+    retries: int
+    failed: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "ports": self.ports,
+            "cycles": self.total_cycles,
+            "register_writes": self.register_writes,
+            "conflicts": self.conflicts,
+            "retries": self.retries,
+            "failed": self.failed,
+        }
+
+
+class DistributedConfigurationModel:
+    """Timed model of centralized versus distributed configuration.
+
+    Costs are expressed in network cycles per remote register write, per
+    local register write and per acknowledgement round-trip; the defaults are
+    calibrated from the cycle-accurate centralized configuration measured in
+    experiment E7.
+    """
+
+    def __init__(self, num_slots: int = 8,
+                 remote_write_cycles: int = 30,
+                 local_write_cycles: int = 2,
+                 ack_cycles: int = 60,
+                 retry_penalty_cycles: int = 40,
+                 router_slot_write_cycles: int = 30,
+                 snapshot_staleness: int = 1) -> None:
+        self.num_slots = num_slots
+        self.remote_write_cycles = remote_write_cycles
+        self.local_write_cycles = local_write_cycles
+        self.ack_cycles = ack_cycles
+        self.retry_penalty_cycles = retry_penalty_cycles
+        self.router_slot_write_cycles = router_slot_write_cycles
+        self.snapshot_staleness = max(0, snapshot_staleness)
+
+    # ------------------------------------------------------------ centralized
+    def run_centralized(self, jobs: List[ConfigJob]) -> ConfigModelResult:
+        """One configuration port, global slot knowledge, no conflicts."""
+        allocator = CentralizedSlotAllocator(self.num_slots)
+        total_cycles = 0
+        writes = 0
+        failed = 0
+        for job in jobs:
+            ok = True
+            for request in job.slot_requests:
+                if allocator.try_allocate(request) is None:
+                    ok = False
+            if not ok:
+                failed += 1
+                continue
+            writes += job.register_writes
+            total_cycles += (job.register_writes * self.remote_write_cycles
+                             + self.ack_cycles)
+        return ConfigModelResult(model="centralized", ports=1,
+                                 total_cycles=total_cycles,
+                                 register_writes=writes, conflicts=0,
+                                 retries=0, failed=failed)
+
+    # ------------------------------------------------------------ distributed
+    def run_distributed(self, jobs: List[ConfigJob],
+                        ports: int = 2) -> ConfigModelResult:
+        """Several configuration ports working concurrently.
+
+        Slot information lives in the routers; each port computes tentative
+        reservations from a snapshot that may be ``snapshot_staleness`` jobs
+        old, so concurrent ports can pick conflicting slots.  A rejected
+        tentative reservation costs a retry round-trip and is re-attempted
+        with fresh information.
+        """
+        if ports <= 0:
+            raise ConfigurationError("need at least one configuration port")
+        allocator = CentralizedSlotAllocator(self.num_slots)
+        port_cycles = [0] * ports
+        conflicts = 0
+        retries = 0
+        failed = 0
+        writes = 0
+        # Snapshot of link occupancy seen by each port, refreshed lazily.
+        stale_view: Dict[int, Dict] = {p: {} for p in range(ports)}
+        jobs_since_refresh = [self.snapshot_staleness + 1] * ports
+
+        for index, job in enumerate(jobs):
+            port = index % ports
+            # Routers also hold slot tables in the distributed model, so every
+            # GT slot costs an extra router register write.
+            slot_writes = sum(req.slots_required * len(req.link_ids)
+                              for req in job.slot_requests)
+            cost = (job.register_writes * self.remote_write_cycles
+                    + slot_writes * self.router_slot_write_cycles
+                    + self.ack_cycles)
+            job_failed = False
+            for request in job.slot_requests:
+                if jobs_since_refresh[port] > self.snapshot_staleness:
+                    stale_view[port] = {
+                        lid: set(table.free_slots())
+                        for lid, table in allocator._link_tables.items()}
+                    jobs_since_refresh[port] = 0
+                tentative = self._tentative_choice(request, stale_view[port])
+                granted = allocator.try_allocate(request)
+                if granted is None:
+                    job_failed = True
+                    continue
+                if tentative is not None and set(granted) != set(tentative):
+                    # The stale view suggested different slots: the routers
+                    # rejected the tentative reservation and a retry happened.
+                    conflicts += 1
+                    retries += 1
+                    cost += self.retry_penalty_cycles
+            jobs_since_refresh[port] += 1
+            if job_failed:
+                failed += 1
+            writes += job.register_writes + slot_writes
+            port_cycles[port] += cost
+        return ConfigModelResult(model="distributed", ports=ports,
+                                 total_cycles=max(port_cycles) if port_cycles else 0,
+                                 register_writes=writes, conflicts=conflicts,
+                                 retries=retries, failed=failed)
+
+    def _tentative_choice(self, request: SlotRequest,
+                          stale_free: Dict) -> Optional[List[int]]:
+        """The injection slots a port would pick from its stale snapshot."""
+        if not stale_free:
+            return None
+        candidates = []
+        for slot in range(self.num_slots):
+            ok = True
+            for hop, link_id in enumerate(request.link_ids):
+                free = stale_free.get(link_id)
+                if free is not None and (slot + hop) % self.num_slots not in free:
+                    ok = False
+                    break
+            if ok:
+                candidates.append(slot)
+        if len(candidates) < request.slots_required:
+            return None
+        return candidates[:request.slots_required]

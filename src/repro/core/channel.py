@@ -1,0 +1,155 @@
+"""A connection endpoint channel inside the NI kernel.
+
+"In the NI kernel, there are two message queues for each point-to-point
+connection (one source queue, for messages going to the NoC, and one
+destination queue, for messages coming from the NoC)" (Section 4.1).  A
+:class:`Channel` bundles those two queues together with the per-channel
+state the kernel needs:
+
+* the configuration registers (enable, GT/BE, source route, remote queue id,
+  thresholds);
+* the ``space`` counter tracking free words in the remote destination queue
+  (end-to-end flow control);
+* the ``credit`` counter accumulating credits to return as the local IP
+  consumes words from the destination queue;
+* flush state used to override the scheduling thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.queues import HardwareFifo
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class FlowControlError(RuntimeError):
+    """End-to-end flow control was violated (destination queue overflow)."""
+
+
+@dataclass
+class ChannelRegisters:
+    """The run-time configurable registers of one channel (Section 4.1)."""
+
+    enabled: bool = False
+    gt: bool = False
+    path: Tuple[int, ...] = ()
+    remote_qid: int = 0
+    data_threshold: int = 1
+    credit_threshold: int = 1
+
+
+class Channel:
+    """One connection endpoint at an NI: a source queue, a destination queue
+    and the associated flow-control counters."""
+
+    def __init__(self, index: int, name: str,
+                 source_queue_words: int = 8,
+                 dest_queue_words: int = 8,
+                 sim: Optional[Simulator] = None,
+                 source_cdc_delay_ps: int = 0,
+                 dest_cdc_delay_ps: int = 0) -> None:
+        self.index = index
+        self.name = name
+        self.regs = ChannelRegisters()
+        self.source_queue = HardwareFifo(source_queue_words, sim=sim,
+                                         cdc_delay_ps=source_cdc_delay_ps,
+                                         name=f"{name}.src")
+        self.dest_queue = HardwareFifo(dest_queue_words, sim=sim,
+                                       cdc_delay_ps=dest_cdc_delay_ps,
+                                       name=f"{name}.dst")
+        #: Remaining space (in words) in the remote destination queue.
+        self.space = 0
+        #: Credits to return to the remote producer (words consumed locally).
+        self.credit = 0
+        self.flush_pending = False
+        self._flush_words_remaining = 0
+        self.stats = StatsRegistry()
+
+    # -------------------------------------------------------------- counters
+    @property
+    def sendable(self) -> int:
+        """Words that may be transmitted now: min(queue filling, space).
+
+        "Note that at most Space data items can be transmitted before credits
+        are received.  We call the minimum between the data items in the queue
+        and the value in the counter Space, the sendable data." (Section 4.1)
+        """
+        return min(self.source_queue.fill, self.space)
+
+    def add_space(self, credits: int) -> None:
+        """Credits received from the remote consumer increase ``space``."""
+        if credits < 0:
+            raise FlowControlError(f"channel {self.name}: negative credits")
+        self.space += credits
+
+    def consume_space(self, words: int) -> None:
+        if words > self.space:
+            raise FlowControlError(
+                f"channel {self.name}: sending {words} words with only "
+                f"{self.space} space credits")
+        self.space -= words
+
+    def add_credit(self, words: int = 1) -> None:
+        """The local IP consumed words from the destination queue."""
+        self.credit += words
+
+    def take_credits(self, maximum: int) -> int:
+        """Remove up to ``maximum`` credits for piggybacking in a header."""
+        taken = min(self.credit, maximum)
+        self.credit -= taken
+        return taken
+
+    # ----------------------------------------------------------------- flush
+    def request_flush(self) -> None:
+        """Override the thresholds until the currently queued words are sent.
+
+        "When the flush signal is high for a cycle, a snapshot of its source
+        queue filling is taken, and as long as all the words in the queue at
+        the time of flushing have not been sent, the threshold for that queue
+        is bypassed." (Section 4.1)
+        """
+        self.flush_pending = True
+        self._flush_words_remaining = self.source_queue.total_fill
+
+    def note_words_sent(self, words: int) -> None:
+        if not self.flush_pending:
+            return
+        self._flush_words_remaining -= words
+        if self._flush_words_remaining <= 0:
+            self.flush_pending = False
+            self._flush_words_remaining = 0
+
+    # ------------------------------------------------------------ scheduling
+    def eligible(self) -> bool:
+        """True when the scheduler may select this channel (Section 4.1)."""
+        if not self.regs.enabled:
+            return False
+        sendable = self.sendable
+        credits = self.credit
+        if sendable <= 0 and credits <= 0:
+            return False
+        if self.flush_pending:
+            return True
+        if sendable > 0 and sendable >= self.regs.data_threshold:
+            return True
+        if credits > 0 and credits >= self.regs.credit_threshold:
+            return True
+        return False
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def status_word(self) -> int:
+        """REG_STATUS value: source fill in the top half, dest fill in the bottom."""
+        return ((self.source_queue.total_fill & 0xFFFF) << 16 |
+                (self.dest_queue.total_fill & 0xFFFF))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "GT" if self.regs.gt else "BE"
+        state = "on" if self.regs.enabled else "off"
+        return (f"Channel({self.name}, {kind}, {state}, "
+                f"src={self.source_queue.total_fill}, "
+                f"dst={self.dest_queue.total_fill}, "
+                f"space={self.space}, credit={self.credit})")

@@ -1,0 +1,422 @@
+"""The NI kernel (Figure 2 of the paper).
+
+The kernel:
+
+* holds one :class:`~repro.core.channel.Channel` (source queue + destination
+  queue + flow-control counters) per configured point-to-point connection
+  endpoint;
+* runs the GT/BE scheduler every flit cycle: if the current TDM slot is
+  reserved for a guaranteed-throughput channel that has sendable data (or
+  credits / a pending flush), that channel transmits; otherwise a best-effort
+  channel is selected by the configured arbiter;
+* packetizes messages from the source queues (header word = source route,
+  remote queue id, piggybacked credits) and depacketizes incoming flits into
+  the destination queues, adding piggybacked credits to the ``space`` counter
+  of the corresponding channel;
+* exposes every control register through a memory-mapped register file so the
+  NI can be configured over the NoC itself (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.channel import Channel, FlowControlError
+from repro.core.port import NIPort
+from repro.core.registers import (
+    CHANNEL_REG_STRIDE,
+    CTRL_ENABLE,
+    CTRL_GT,
+    INFO_NUM_CHANNELS,
+    INFO_NUM_PORTS,
+    INFO_NUM_SLOTS,
+    NI_INFO_BASE,
+    REG_CREDIT_THRESHOLD,
+    REG_CTRL,
+    REG_DATA_THRESHOLD,
+    REG_FLUSH,
+    REG_PATH,
+    REG_REMOTE_QID,
+    REG_SPACE,
+    REG_STATUS,
+    SLOT_TABLE_BASE,
+    RegisterError,
+    decode_path,
+    encode_ctrl,
+    encode_path,
+)
+from repro.core.scheduler import Arbiter, make_arbiter
+from repro.network.link import Link
+from repro.network.noc import Attachment
+from repro.network.packet import (
+    DEFAULT_MAX_PACKET_WORDS,
+    FLIT_WORDS,
+    MAX_HEADER_CREDITS,
+    Flit,
+    Packet,
+    PacketHeader,
+    packet_to_flits,
+)
+from repro.network.slot_table import SlotTable
+from repro.sim.clock import ClockedComponent
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Destination queues are protected by end-to-end flow control, so the NI can
+#: always accept flits from its router (the credits guarantee space).
+_UNLIMITED_BE_SPACE = 1 << 30
+
+#: Default clock-domain-crossing penalty (cycles of the reading clock).
+DEFAULT_CDC_CYCLES = 2
+
+
+class NIKernel(ClockedComponent):
+    """The NI kernel: queues, scheduler, packetization and flow control."""
+
+    def __init__(self, name: str, sim: Simulator, num_slots: int = 8,
+                 max_packet_words: int = DEFAULT_MAX_PACKET_WORDS,
+                 be_arbiter: str = "round_robin",
+                 flit_period_ps: int = 6000,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        if num_slots <= 0:
+            raise ValueError("the slot table needs at least one slot")
+        if max_packet_words <= 0:
+            raise ValueError("max packet payload must be positive")
+        self.name = name
+        self.sim = sim
+        self.num_slots = num_slots
+        self.max_packet_words = max_packet_words
+        self.flit_period_ps = flit_period_ps
+        self.tracer = tracer
+        self.stats = StatsRegistry()
+        self.channels: List[Channel] = []
+        self.ports: Dict[str, NIPort] = {}
+        self.slot_table = SlotTable(num_slots)
+        self.be_arbiter: Arbiter = (make_arbiter(be_arbiter)
+                                    if isinstance(be_arbiter, str) else be_arbiter)
+        self.to_network: Optional[Link] = None
+        self.from_network: Optional[Link] = None
+        self._gt_flits: Deque[Flit] = deque()
+        self._be_flits: Deque[Flit] = deque()
+        self._cycle = 0
+
+    # ------------------------------------------------------------- channels
+    def add_channel(self, source_queue_words: int = 8, dest_queue_words: int = 8,
+                    port_clock_period_ps: Optional[int] = None,
+                    cdc_cycles: int = DEFAULT_CDC_CYCLES) -> Channel:
+        """Instantiate a channel (design time, Section 4.1).
+
+        The source queue is read by the kernel at the flit clock; the
+        destination queue is read by the IP-side port at its own clock, so the
+        CDC delay of each queue is expressed in cycles of its reader.
+        """
+        index = len(self.channels)
+        reader_period = (port_clock_period_ps if port_clock_period_ps
+                         else self.flit_period_ps)
+        channel = Channel(index=index, name=f"{self.name}.ch{index}",
+                          source_queue_words=source_queue_words,
+                          dest_queue_words=dest_queue_words,
+                          sim=self.sim,
+                          source_cdc_delay_ps=cdc_cycles * self.flit_period_ps,
+                          dest_cdc_delay_ps=cdc_cycles * reader_period)
+        self.channels.append(channel)
+        return channel
+
+    def channel(self, index: int) -> Channel:
+        try:
+            return self.channels[index]
+        except IndexError as exc:
+            raise RegisterError(
+                f"{self.name}: channel {index} does not exist "
+                f"({len(self.channels)} instantiated)") from exc
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+    # ----------------------------------------------------------------- ports
+    def add_port(self, name: str, channel_indices: List[int]) -> NIPort:
+        """Group channels into an NI port (Figure 1: "NI kernel ports")."""
+        if name in self.ports:
+            raise ValueError(f"{self.name}: duplicate port name {name!r}")
+        for index in channel_indices:
+            self.channel(index)  # bounds check
+        port = NIPort(kernel=self, name=name, channel_indices=list(channel_indices))
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str) -> NIPort:
+        try:
+            return self.ports[name]
+        except KeyError as exc:
+            raise KeyError(f"{self.name}: unknown port {name!r}") from exc
+
+    # -------------------------------------------------------------- network
+    def attach(self, attachment: Attachment) -> None:
+        """Connect the kernel to its router-side links."""
+        self.to_network = attachment.to_network
+        self.from_network = attachment.from_network
+        self.from_network.sink = self
+        self.from_network.sink_port = 0
+        self.to_network.source = self
+        self.to_network.source_port = 0
+
+    def attach_links(self, to_network: Link, from_network: Link) -> None:
+        """Directly attach raw links (used by back-to-back NI tests)."""
+        self.to_network = to_network
+        self.from_network = from_network
+        self.from_network.sink = self
+        self.to_network.source = self
+
+    def be_space(self, port: int) -> int:
+        """Link-level BE space: destination queues are guaranteed by credits."""
+        return _UNLIMITED_BE_SPACE
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._receive(cycle)
+        self._transmit(cycle)
+
+    # --------------------------------------------------------------- receive
+    def _receive(self, cycle: int) -> None:
+        if self.from_network is None:
+            return
+        flit = self.from_network.take()
+        if flit is None:
+            return
+        packet = flit.packet
+        qid = packet.header.remote_qid
+        if qid >= len(self.channels):
+            raise RegisterError(
+                f"{self.name}: packet addressed to unknown queue {qid}")
+        channel = self.channels[qid]
+        if flit.is_head:
+            credits = packet.header.credits
+            if credits:
+                channel.add_space(credits)
+                self.stats.counter("credits_received").increment(credits)
+        words = self._flit_payload(flit)
+        for word in words:
+            if not channel.dest_queue.can_push():
+                raise FlowControlError(
+                    f"{self.name}: destination queue of channel {qid} overflowed "
+                    f"(end-to-end flow control violated)")
+            channel.dest_queue.push(word)
+        if words:
+            self.stats.counter("words_received").increment(len(words))
+            channel.stats.counter("words_received").increment(len(words))
+        if flit.is_tail:
+            packet.delivered_cycle = cycle
+            self.stats.counter("packets_received").increment()
+            if packet.injected_cycle is not None:
+                self.stats.latency("packet_network_latency").record(
+                    packet.injected_cycle, cycle)
+        kind = "gt" if flit.is_gt else "be"
+        self.stats.counter(f"{kind}_flits_received").increment()
+
+    @staticmethod
+    def _flit_payload(flit: Flit) -> List[int]:
+        payload = flit.packet.payload
+        if flit.is_head:
+            return payload[:flit.num_words - 1]
+        base = (FLIT_WORDS - 1) + (flit.index - 1) * FLIT_WORDS
+        return payload[base:base + flit.num_words]
+
+    # -------------------------------------------------------------- transmit
+    def _transmit(self, cycle: int) -> None:
+        if self.to_network is None:
+            return
+        slot = cycle % self.num_slots
+        if self._transmit_gt(cycle, slot):
+            return
+        self._transmit_be(cycle)
+
+    def _transmit_gt(self, cycle: int, slot: int) -> bool:
+        # Continue an in-flight GT packet: its length was bounded by the
+        # consecutive slots reserved for the channel, so the slot is ours.
+        if self._gt_flits:
+            self.to_network.send(self._gt_flits.popleft())
+            self.stats.counter("gt_flits_sent").increment()
+            return True
+        owner = self.slot_table.owner(slot)
+        if owner is None:
+            return False
+        channel = self.channels[owner]
+        if not channel.regs.gt or not channel.eligible():
+            # The reserved slot goes unused by GT; BE may claim it.
+            self.stats.counter("gt_slots_unused").increment()
+            return False
+        run = self._consecutive_slots(owner, slot)
+        packet = self._form_packet(channel, gt=True, cycle=cycle,
+                                   max_payload=min(self.max_packet_words,
+                                                   FLIT_WORDS * run - 1))
+        flits = packet_to_flits(packet)
+        self.to_network.send(flits[0])
+        self._gt_flits.extend(flits[1:])
+        self.stats.counter("gt_flits_sent").increment()
+        self.stats.counter("gt_packets_sent").increment()
+        return True
+
+    def _transmit_be(self, cycle: int) -> None:
+        if self._be_flits:
+            if self.to_network.can_send_be():
+                self.to_network.send(self._be_flits.popleft())
+                self.stats.counter("be_flits_sent").increment()
+            else:
+                self.stats.counter("be_stalls").increment()
+            return
+        eligible = [ch.index for ch in self.channels
+                    if not ch.regs.gt and ch.eligible()]
+        if not eligible:
+            return
+        if not self.to_network.can_send_be():
+            self.stats.counter("be_stalls").increment()
+            return
+        choice = self.be_arbiter.select(eligible, self.channels)
+        if choice is None:
+            return
+        channel = self.channels[choice]
+        packet = self._form_packet(channel, gt=False, cycle=cycle,
+                                   max_payload=self.max_packet_words)
+        flits = packet_to_flits(packet)
+        self.to_network.send(flits[0])
+        self._be_flits.extend(flits[1:])
+        self.stats.counter("be_flits_sent").increment()
+        self.stats.counter("be_packets_sent").increment()
+
+    def _consecutive_slots(self, owner: int, start_slot: int) -> int:
+        """Number of consecutive slots (starting at ``start_slot``) owned by
+        ``owner``; bounds the length of a GT packet."""
+        run = 0
+        for offset in range(self.num_slots):
+            slot = (start_slot + offset) % self.num_slots
+            if self.slot_table.owner(slot) == owner:
+                run += 1
+            else:
+                break
+        return max(run, 1)
+
+    def _form_packet(self, channel: Channel, gt: bool, cycle: int,
+                     max_payload: int) -> Packet:
+        """Packetization (the Pck block of Figure 2).
+
+        "Once a queue is selected, a packet containing the largest possible
+        amount of credits and data will be produced." (Section 4.1)
+        """
+        payload_words = min(channel.sendable, max_payload)
+        payload = channel.source_queue.pop_many(payload_words)
+        channel.consume_space(len(payload))
+        credits = channel.take_credits(MAX_HEADER_CREDITS)
+        header = PacketHeader(path=channel.regs.path,
+                              remote_qid=channel.regs.remote_qid,
+                              credits=credits,
+                              is_gt=gt,
+                              flush=channel.flush_pending,
+                              channel_key=(self.name, channel.index))
+        packet = Packet(header, payload, injected_cycle=cycle)
+        channel.note_words_sent(len(payload))
+        channel.stats.counter("words_sent").increment(len(payload))
+        channel.stats.counter("packets_sent").increment()
+        channel.stats.counter("credits_sent").increment(credits)
+        self.stats.counter("words_sent").increment(len(payload))
+        self.stats.counter("credits_sent").increment(credits)
+        if not payload:
+            self.stats.counter("credit_only_packets").increment()
+        self.stats.histogram("packet_payload_words").add(len(payload))
+        self.tracer.record(self.sim.now, self.name, "packet_formed",
+                           channel=channel.index, gt=gt, words=len(payload),
+                           credits=credits)
+        return packet
+
+    # ------------------------------------------------------------ registers
+    def write_register(self, address: int, value: int) -> None:
+        """Memory-mapped register write (the CNIP view, Section 4.3)."""
+        if address >= NI_INFO_BASE:
+            raise RegisterError(
+                f"{self.name}: address 0x{address:x} is read-only")
+        if address >= SLOT_TABLE_BASE:
+            slot = address - SLOT_TABLE_BASE
+            if slot >= self.num_slots:
+                raise RegisterError(
+                    f"{self.name}: slot {slot} out of range")
+            if value == 0:
+                self.slot_table.release(slot)
+            else:
+                channel_index = value - 1
+                self.channel(channel_index)  # bounds check
+                self.slot_table.release(slot)
+                self.slot_table.reserve(slot, channel_index)
+            return
+        channel_index, register = divmod(address, CHANNEL_REG_STRIDE)
+        channel = self.channel(channel_index)
+        if register == REG_CTRL:
+            channel.regs.enabled = bool(value & CTRL_ENABLE)
+            channel.regs.gt = bool(value & CTRL_GT)
+        elif register == REG_PATH:
+            channel.regs.path = decode_path(value)
+        elif register == REG_REMOTE_QID:
+            channel.regs.remote_qid = int(value)
+        elif register == REG_SPACE:
+            channel.space = int(value)
+        elif register == REG_DATA_THRESHOLD:
+            channel.regs.data_threshold = int(value)
+        elif register == REG_CREDIT_THRESHOLD:
+            channel.regs.credit_threshold = int(value)
+        elif register == REG_FLUSH:
+            if value:
+                channel.request_flush()
+        elif register == REG_STATUS:
+            raise RegisterError(f"{self.name}: REG_STATUS is read-only")
+        else:  # pragma: no cover - unreachable with valid stride
+            raise RegisterError(f"{self.name}: unknown register {register}")
+        self.tracer.record(self.sim.now, self.name, "register_write",
+                           address=address, value=value)
+
+    def read_register(self, address: int) -> int:
+        if address >= NI_INFO_BASE:
+            info = address - NI_INFO_BASE
+            if info == INFO_NUM_CHANNELS:
+                return self.num_channels
+            if info == INFO_NUM_SLOTS:
+                return self.num_slots
+            if info == INFO_NUM_PORTS:
+                return len(self.ports)
+            raise RegisterError(f"{self.name}: unknown info register {info}")
+        if address >= SLOT_TABLE_BASE:
+            slot = address - SLOT_TABLE_BASE
+            if slot >= self.num_slots:
+                raise RegisterError(f"{self.name}: slot {slot} out of range")
+            owner = self.slot_table.owner(slot)
+            return 0 if owner is None else int(owner) + 1
+        channel_index, register = divmod(address, CHANNEL_REG_STRIDE)
+        channel = self.channel(channel_index)
+        if register == REG_CTRL:
+            return encode_ctrl(channel.regs.enabled, channel.regs.gt)
+        if register == REG_PATH:
+            return encode_path(channel.regs.path)
+        if register == REG_REMOTE_QID:
+            return channel.regs.remote_qid
+        if register == REG_SPACE:
+            return channel.space
+        if register == REG_DATA_THRESHOLD:
+            return channel.regs.data_threshold
+        if register == REG_CREDIT_THRESHOLD:
+            return channel.regs.credit_threshold
+        if register == REG_FLUSH:
+            return 1 if channel.flush_pending else 0
+        if register == REG_STATUS:
+            return channel.status_word
+        raise RegisterError(f"{self.name}: unknown register {register}")
+
+    # ------------------------------------------------------------ reporting
+    def queue_words_total(self) -> int:
+        """Total queue capacity in words (area model input)."""
+        return sum(ch.source_queue.capacity + ch.dest_queue.capacity
+                   for ch in self.channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"NIKernel({self.name}, channels={self.num_channels}, "
+                f"slots={self.num_slots})")

@@ -1,0 +1,124 @@
+"""Custom hardware FIFO model.
+
+The prototype NI uses "area-efficient custom-made hardware fifos" instead of
+RAMs because every port needs simultaneous access and may run at its own
+clock frequency; the FIFOs also implement the clock-domain boundary
+(Section 5).  The model captures the two properties that matter for cycle
+behaviour:
+
+* bounded capacity in 32-bit words;
+* a synchronization delay: a word pushed by the writer becomes visible to the
+  reader only after the clock-domain-crossing delay (2 cycles of the reader's
+  clock in the prototype).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class QueueError(RuntimeError):
+    """Raised on FIFO misuse (overflow, popping an empty or unsynced word)."""
+
+
+class HardwareFifo:
+    """A bounded word FIFO with a clock-domain-crossing delay."""
+
+    def __init__(self, capacity_words: int, sim: Optional[Simulator] = None,
+                 cdc_delay_ps: int = 0, name: str = "fifo") -> None:
+        if capacity_words <= 0:
+            raise QueueError(f"fifo {name}: capacity must be positive")
+        if cdc_delay_ps < 0:
+            raise QueueError(f"fifo {name}: negative CDC delay")
+        self.name = name
+        self.capacity = capacity_words
+        self.sim = sim
+        self.cdc_delay_ps = cdc_delay_ps
+        self._items: Deque[Tuple[int, int]] = deque()  # (visible_at_ps, word)
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.max_fill_seen = 0
+
+    # ------------------------------------------------------------------ time
+    def _now(self) -> int:
+        return self.sim.now if self.sim is not None else 0
+
+    # --------------------------------------------------------------- writing
+    @property
+    def total_fill(self) -> int:
+        """All words in the FIFO, including those still crossing clock domains."""
+        return len(self._items)
+
+    @property
+    def space(self) -> int:
+        return self.capacity - len(self._items)
+
+    def can_push(self, count: int = 1) -> bool:
+        return len(self._items) + count <= self.capacity
+
+    def push(self, word: int) -> None:
+        if not self.can_push():
+            raise QueueError(f"fifo {self.name}: overflow (capacity {self.capacity})")
+        visible_at = self._now() + self.cdc_delay_ps
+        self._items.append((visible_at, int(word)))
+        self.total_pushed += 1
+        if len(self._items) > self.max_fill_seen:
+            self.max_fill_seen = len(self._items)
+
+    def push_many(self, words: List[int]) -> None:
+        if not self.can_push(len(words)):
+            raise QueueError(
+                f"fifo {self.name}: cannot push {len(words)} words "
+                f"({self.space} free)")
+        for word in words:
+            self.push(word)
+
+    # --------------------------------------------------------------- reading
+    @property
+    def fill(self) -> int:
+        """Words visible to the reader (synchronized across the clock boundary)."""
+        now = self._now()
+        count = 0
+        for visible_at, _ in self._items:
+            if visible_at <= now:
+                count += 1
+            else:
+                break
+        return count
+
+    def can_pop(self, count: int = 1) -> bool:
+        return self.fill >= count
+
+    def peek(self) -> int:
+        if not self.can_pop():
+            raise QueueError(f"fifo {self.name}: peek on empty/unsynchronized fifo")
+        return self._items[0][1]
+
+    def peek_many(self, count: int) -> List[int]:
+        available = min(count, self.fill)
+        return [self._items[i][1] for i in range(available)]
+
+    def pop(self) -> int:
+        if not self.can_pop():
+            raise QueueError(f"fifo {self.name}: pop on empty/unsynchronized fifo")
+        _, word = self._items.popleft()
+        self.total_popped += 1
+        return word
+
+    def pop_many(self, count: int) -> List[int]:
+        """Pop up to ``count`` visible words (may return fewer)."""
+        available = min(count, self.fill)
+        return [self.pop() for _ in range(available)]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"HardwareFifo({self.name}, fill={self.fill}/{self.capacity}, "
+                f"in-flight={self.total_fill - self.fill})")

@@ -1,0 +1,203 @@
+"""Base connection shell: message (de)sequentialization over a kernel port.
+
+A connection shell converts between whole messages (the unit protocol
+adapters work with) and the word streams the kernel queues carry.  It streams
+one word per port-clock cycle in each direction, which models the
+sequentialization the paper charges 2 cycles of latency for in the DTL master
+shell plus one cycle per message word.
+
+Subclasses implement the connection-type policies:
+
+* which connection(s) a submitted message is sent on
+  (:meth:`ConnectionShell._select_conns`);
+* which connection incoming words are consumed from
+  (:meth:`ConnectionShell._rx_conn_candidates`), which is how narrowcast
+  shells enforce in-order response delivery;
+* what happens when a complete message has been reassembled
+  (:meth:`ConnectionShell._deliver`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.port import NIPort
+from repro.protocol.messages import (
+    RequestMessage,
+    ResponseMessage,
+    request_from_words,
+    response_from_words,
+)
+from repro.sim.clock import ClockedComponent
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+Message = Union[RequestMessage, ResponseMessage]
+
+
+class ShellError(RuntimeError):
+    """Raised for shell protocol violations (bad conn ids, ordering bugs)."""
+
+
+class ConnectionShell(ClockedComponent):
+    """Message-level shell over one NI kernel port."""
+
+    #: 'master' shells send requests and receive responses; 'slave' shells the
+    #: reverse.  The role determines how incoming words are parsed.
+    def __init__(self, name: str, port: NIPort, role: str = "master",
+                 tx_words_per_cycle: int = 1, rx_words_per_cycle: int = 1,
+                 max_pending_messages: int = 64,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        if role not in ("master", "slave"):
+            raise ShellError(f"shell {name}: role must be 'master' or 'slave'")
+        if tx_words_per_cycle <= 0 or rx_words_per_cycle <= 0:
+            raise ShellError(f"shell {name}: word budgets must be positive")
+        self.name = name
+        self.port = port
+        self.role = role
+        self.tx_words_per_cycle = tx_words_per_cycle
+        self.rx_words_per_cycle = rx_words_per_cycle
+        self.max_pending_messages = max_pending_messages
+        self.tracer = tracer
+        self.stats = StatsRegistry()
+        #: Global transmit stream: (conns, remaining words) per message.
+        self._tx_queue: Deque[Tuple[Tuple[int, ...], List[int]]] = deque()
+        #: Per-connection receive reassembly state.
+        self._rx_partial: Dict[int, List[int]] = {}
+        self._rx_expected: Dict[int, Optional[int]] = {}
+        #: Fully reassembled messages ready for the adapter above.
+        self._rx_ready: Deque[Tuple[Message, int]] = deque()
+        self._rx_current_conn: Optional[int] = None
+
+    # ----------------------------------------------------------- upward API
+    def can_submit(self) -> bool:
+        return len(self._tx_queue) < self.max_pending_messages
+
+    def submit(self, message: Message, conn: Optional[int] = None) -> bool:
+        """Queue a message for transmission.  Returns False when full."""
+        if not self.can_submit():
+            return False
+        conns = tuple(self._select_conns(message, conn))
+        if not conns:
+            raise ShellError(f"shell {self.name}: no connection selected")
+        for c in conns:
+            self.port.channel_index(c)  # bounds check
+        self._tx_queue.append((conns, list(message.to_words())))
+        self._on_submitted(message, conns)
+        self.stats.counter("messages_submitted").increment()
+        return True
+
+    def poll(self) -> Optional[Tuple[Message, int]]:
+        """A fully reassembled incoming message and the connection it used."""
+        if self._rx_ready:
+            return self._rx_ready.popleft()
+        return None
+
+    def pending_tx_messages(self) -> int:
+        return len(self._tx_queue)
+
+    def pending_tx_words(self) -> int:
+        return sum(len(words) for _, words in self._tx_queue)
+
+    def idle(self) -> bool:
+        return (not self._tx_queue and not self._rx_ready
+                and not any(self._rx_partial.values()))
+
+    def request_flush(self, conn: int = 0) -> None:
+        """Raise the per-channel flush signal (Section 4.1)."""
+        self.port.flush(conn)
+
+    # -------------------------------------------------------- policy hooks
+    def _select_conns(self, message: Message,
+                      conn: Optional[int]) -> Sequence[int]:
+        """Connections a submitted message is sent on (default: as given)."""
+        return (conn if conn is not None else 0,)
+
+    def _on_submitted(self, message: Message, conns: Tuple[int, ...]) -> None:
+        """Bookkeeping hook (narrowcast/multicast history)."""
+
+    def _rx_conn_candidates(self) -> Sequence[int]:
+        """Connections that may deliver words this cycle, in priority order."""
+        return range(self.port.num_connections)
+
+    def _deliver(self, message: Message, conn: int) -> None:
+        """A complete message arrived on ``conn``."""
+        self._rx_ready.append((message, conn))
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycle: int) -> None:
+        self._stream_tx(cycle)
+        self._collect_rx(cycle)
+
+    # -------------------------------------------------------------- internal
+    def _stream_tx(self, cycle: int) -> None:
+        budget = self.tx_words_per_cycle
+        while budget > 0 and self._tx_queue:
+            conns, words = self._tx_queue[0]
+            if not words:
+                self._tx_queue.popleft()
+                continue
+            # A multicast message advances only when every target can accept.
+            if not all(self.port.can_push(c) for c in conns):
+                self.stats.counter("tx_stalls").increment()
+                break
+            word = words.pop(0)
+            for c in conns:
+                self.port.push(c, word)
+            self.stats.counter("tx_words").increment()
+            budget -= 1
+            if not words:
+                self._tx_queue.popleft()
+                self.stats.counter("messages_sent").increment()
+
+    def _collect_rx(self, cycle: int) -> None:
+        budget = self.rx_words_per_cycle
+        while budget > 0:
+            conn = self._pick_rx_conn()
+            if conn is None:
+                return
+            word = self.port.pop(conn)
+            buffer = self._rx_partial.setdefault(conn, [])
+            buffer.append(word)
+            if self._rx_expected.get(conn) is None:
+                self._rx_expected[conn] = self._words_expected(word)
+            self.stats.counter("rx_words").increment()
+            budget -= 1
+            expected = self._rx_expected[conn]
+            if expected is not None and len(buffer) >= expected:
+                words = list(buffer)
+                self._rx_partial[conn] = []
+                self._rx_expected[conn] = None
+                self._rx_current_conn = None
+                message = self._parse(words)
+                self.stats.counter("messages_received").increment()
+                self.tracer.record(0, self.name, "message_received",
+                                   conn=conn, words=len(words))
+                self._deliver(message, conn)
+
+    def _pick_rx_conn(self) -> Optional[int]:
+        # Finish the message currently being reassembled before switching.
+        if (self._rx_current_conn is not None
+                and self._rx_partial.get(self._rx_current_conn)):
+            if self.port.can_pop(self._rx_current_conn):
+                return self._rx_current_conn
+            return None
+        for conn in self._rx_conn_candidates():
+            if self.port.can_pop(conn):
+                self._rx_current_conn = conn
+                return conn
+        return None
+
+    def _words_expected(self, header_word: int) -> int:
+        if self.role == "master":
+            return ResponseMessage.words_expected(header_word)
+        return RequestMessage.words_expected(header_word)
+
+    def _parse(self, words: List[int]) -> Message:
+        if self.role == "master":
+            return response_from_words(words)
+        return request_from_words(words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name}, role={self.role})"

@@ -1,0 +1,174 @@
+"""Master protocol-adapter shell (Figure 5 of the paper).
+
+"The basic functionality of such a shell is to sequentialize commands and
+their flags, addresses, and write data in request messages, and to
+desequentialize messages into read data, and write responses."
+
+The master shell accepts :class:`~repro.protocol.transactions.Transaction`
+objects from a master IP module (via the simplified DTL or AXI signal
+groups), assigns them wrapping 8-bit transaction ids, converts them to
+request messages and hands them to the connection shell below (point-to-
+point, narrowcast or multicast).  Responses coming back are matched to the
+outstanding transactions and completed.
+
+The sequentialization pipeline of the prototype DTL master shell costs 2
+cycles (Section 5); that latency is modeled by delaying the issue of every
+request by ``seq_latency_cycles`` port-clock cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.shells.base import ConnectionShell, ShellError
+from repro.protocol.messages import FLAG_FLUSH, FLAG_POSTED, RequestMessage, ResponseMessage
+from repro.protocol.transactions import (
+    Command,
+    MAX_TRANS_ID,
+    Transaction,
+    TransactionResponse,
+    TransactionStatus,
+)
+from repro.sim.clock import ClockedComponent
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Default sequentialization latency of the simplified DTL master shell.
+DEFAULT_SEQ_LATENCY = 2
+
+
+class MasterShell(ClockedComponent):
+    """Transaction-to-message adapter for a master IP module."""
+
+    def __init__(self, name: str, shell: ConnectionShell,
+                 protocol: str = "dtl",
+                 seq_latency_cycles: int = DEFAULT_SEQ_LATENCY,
+                 max_outstanding: int = 16,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        if shell.role != "master":
+            raise ShellError(f"master shell {name} needs a master-role connection shell")
+        if protocol not in ("dtl", "axi"):
+            raise ShellError(f"master shell {name}: unknown protocol {protocol!r}")
+        self.name = name
+        self.shell = shell
+        self.protocol = protocol
+        self.seq_latency_cycles = seq_latency_cycles
+        self.max_outstanding = max_outstanding
+        self.tracer = tracer
+        self.stats = StatsRegistry()
+        self._next_trans_id = 0
+        self._pending: Deque[Tuple[int, Transaction]] = deque()  # (ready_cycle, txn)
+        self._outstanding: Dict[int, Transaction] = {}
+        self._completed: Deque[Transaction] = deque()
+        self._cycle = 0
+
+    # ------------------------------------------------------------- IP side
+    def can_submit(self) -> bool:
+        return (len(self._outstanding) + len(self._pending)) < self.max_outstanding
+
+    def submit(self, transaction: Transaction,
+               cycle: Optional[int] = None) -> bool:
+        """Accept a transaction from the master IP.  Returns False when full."""
+        if not self.can_submit():
+            return False
+        issue_cycle = cycle if cycle is not None else self._cycle
+        transaction.issue_cycle = issue_cycle
+        transaction.status = TransactionStatus.ISSUED
+        transaction.trans_id = self._allocate_trans_id()
+        self._pending.append((issue_cycle + self.seq_latency_cycles, transaction))
+        self.stats.counter("transactions_submitted").increment()
+        return True
+
+    def poll_completed(self) -> List[Transaction]:
+        """Transactions completed since the last call."""
+        done = list(self._completed)
+        self._completed.clear()
+        return done
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding) + len(self._pending)
+
+    def idle(self) -> bool:
+        return not self._pending and not self._outstanding and self.shell.idle()
+
+    def request_flush(self) -> None:
+        """Propagate a flush request to the kernel (prevents starvation when
+        the IP waits for an acknowledgement of buffered write data)."""
+        self.shell.request_flush()
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._issue(cycle)
+        self._complete(cycle)
+
+    def _issue(self, cycle: int) -> None:
+        while self._pending and self._pending[0][0] <= cycle:
+            ready_cycle, transaction = self._pending[0]
+            message = self._to_message(transaction)
+            if not self.shell.can_submit():
+                self.stats.counter("issue_stalls").increment()
+                return
+            if not self.shell.submit(message):
+                self.stats.counter("issue_stalls").increment()
+                return
+            self._pending.popleft()
+            del ready_cycle
+            if transaction.expects_response:
+                self._outstanding[transaction.trans_id] = transaction
+            else:
+                # Posted writes complete as soon as they are handed to the NI.
+                transaction.complete(TransactionResponse(), cycle=cycle)
+                self._completed.append(transaction)
+                self.stats.counter("posted_completions").increment()
+            self.stats.counter("requests_issued").increment()
+
+    def _complete(self, cycle: int) -> None:
+        while True:
+            polled = self.shell.poll()
+            if polled is None:
+                return
+            message, conn = polled
+            if not isinstance(message, ResponseMessage):
+                raise ShellError(f"master shell {self.name}: received a request")
+            transaction = self._outstanding.pop(message.trans_id, None)
+            if transaction is None:
+                raise ShellError(
+                    f"master shell {self.name}: response for unknown "
+                    f"transaction id {message.trans_id} on connection {conn}")
+            response = TransactionResponse(error=message.error,
+                                           read_data=list(message.read_data))
+            transaction.complete(response, cycle=cycle)
+            self._completed.append(transaction)
+            self.stats.counter("responses_received").increment()
+            if transaction.latency_cycles is not None:
+                self.stats.latency("transaction_latency").record(
+                    transaction.issue_cycle, cycle)
+
+    # -------------------------------------------------------------- helpers
+    def _allocate_trans_id(self) -> int:
+        # 8-bit wrapping id; skip ids still outstanding to keep matching unique.
+        for _ in range(MAX_TRANS_ID + 1):
+            candidate = self._next_trans_id
+            self._next_trans_id = (self._next_trans_id + 1) & MAX_TRANS_ID
+            if candidate not in self._outstanding:
+                return candidate
+        raise ShellError(f"master shell {self.name}: transaction id space exhausted")
+
+    def _to_message(self, transaction: Transaction) -> RequestMessage:
+        flags = 0
+        if transaction.command == Command.WRITE_POSTED:
+            flags |= FLAG_POSTED
+        if transaction.command == Command.FLUSH:
+            flags |= FLAG_FLUSH
+        return RequestMessage(command=transaction.command,
+                              address=transaction.address,
+                              write_data=list(transaction.write_data),
+                              read_length=transaction.read_length,
+                              flags=flags,
+                              trans_id=transaction.trans_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MasterShell({self.name}, protocol={self.protocol})"

@@ -1,0 +1,148 @@
+"""Narrowcast shell (Figure 3 of the paper).
+
+"Narrowcast connections are connections between one master and several
+slaves, where each transaction is executed by a single slave selected based
+on the address provided in the transaction.  Narrowcast connections provide a
+simple, low-cost solution for a single shared address space mapped on
+multiple memories."
+
+The shell decodes the request address against configurable per-slave address
+ranges (the ``Conn`` block of Figure 3), forwards the request on the matching
+connection, and keeps "a history of connection identifiers of the
+transactions including responses" so responses are delivered to the master in
+transaction order even when slaves respond out of order relative to each
+other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from repro.core.port import NIPort
+from repro.core.shells.base import ConnectionShell, Message, ShellError
+from repro.protocol.messages import RequestMessage
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class AddressRange:
+    """The address window mapped onto one slave connection."""
+
+    base: int
+    size: int
+    conn: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ShellError(f"address range at 0x{self.base:x} has size {self.size}")
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.limit
+
+
+class NarrowcastShell(ConnectionShell):
+    """Address-decoded one-master / many-slaves connection shell."""
+
+    def __init__(self, name: str, port: NIPort,
+                 address_ranges: List[AddressRange],
+                 translate_addresses: bool = True,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        super().__init__(name=name, port=port, role="master", tracer=tracer)
+        if not address_ranges:
+            raise ShellError(f"shell {name}: narrowcast needs address ranges")
+        self._check_ranges(address_ranges, port)
+        self.address_ranges = list(address_ranges)
+        self.translate_addresses = translate_addresses
+        #: Connection ids of transactions awaiting a response, in issue order.
+        self._response_history: Deque[int] = deque()
+        #: Response lengths, kept alongside the history as in Figure 3.
+        self._response_lengths: Deque[int] = deque()
+
+    @staticmethod
+    def _check_ranges(ranges: List[AddressRange], port: NIPort) -> None:
+        ordered = sorted(ranges, key=lambda r: r.base)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.limit > b.base:
+                raise ShellError(
+                    f"overlapping narrowcast address ranges at 0x{a.base:x} "
+                    f"and 0x{b.base:x}")
+        for r in ranges:
+            if not 0 <= r.conn < port.num_connections:
+                raise ShellError(
+                    f"narrowcast range at 0x{r.base:x} targets unknown "
+                    f"connection {r.conn}")
+
+    # ------------------------------------------------------------- decoding
+    def decode(self, address: int) -> AddressRange:
+        """The address range (slave) a request address falls into."""
+        for r in self.address_ranges:
+            if r.contains(address):
+                return r
+        raise ShellError(
+            f"shell {self.name}: address 0x{address:x} matches no slave range")
+
+    # ----------------------------------------------------------- tx policy
+    def submit(self, message: Message, conn: Optional[int] = None) -> bool:
+        if not isinstance(message, RequestMessage):
+            raise ShellError(
+                f"shell {self.name}: narrowcast shells transport requests only")
+        target = self.decode(message.address)
+        if self.translate_addresses and message.address != target.base:
+            message = RequestMessage(
+                command=message.command,
+                address=message.address - target.base,
+                write_data=list(message.write_data),
+                read_length=message.read_length,
+                flags=message.flags,
+                trans_id=message.trans_id)
+        elif self.translate_addresses:
+            message = RequestMessage(
+                command=message.command,
+                address=0,
+                write_data=list(message.write_data),
+                read_length=message.read_length,
+                flags=message.flags,
+                trans_id=message.trans_id)
+        return super().submit(message, conn=target.conn)
+
+    def _select_conns(self, message: Message,
+                      conn: Optional[int]) -> Sequence[int]:
+        # ``submit`` already decoded the target connection.
+        return (conn,) if conn is not None else (0,)
+
+    def _on_submitted(self, message: Message, conns) -> None:
+        if isinstance(message, RequestMessage) and message.expects_response:
+            self._response_history.append(conns[0])
+            self._response_lengths.append(message.response_length)
+            self.stats.counter("history_entries").increment()
+
+    # ----------------------------------------------------------- rx policy
+    def _rx_conn_candidates(self) -> Sequence[int]:
+        # In-order response delivery: only consume the response of the oldest
+        # outstanding transaction.
+        if not self._response_history:
+            return ()
+        return (self._response_history[0],)
+
+    def _deliver(self, message: Message, conn: int) -> None:
+        if not self._response_history:
+            raise ShellError(
+                f"shell {self.name}: response received with empty history")
+        expected_conn = self._response_history.popleft()
+        self._response_lengths.popleft()
+        if expected_conn != conn:
+            raise ShellError(
+                f"shell {self.name}: response arrived on connection {conn} "
+                f"but history expected {expected_conn}")
+        super()._deliver(message, conn)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def outstanding_responses(self) -> int:
+        return len(self._response_history)

@@ -1,0 +1,42 @@
+"""Point-to-point connection shell.
+
+"With the NI kernel described in the previous section, point-to-point
+connections (i.e., between one master and one slave) can be supported
+directly.  These type of connections are useful in systems involving chains
+of modules communicating point to point with one another (e.g., video pixel
+processing)." (Section 4.2)
+
+The point-to-point shell is therefore the thinnest shell: it only performs
+message (de)sequentialization on a single connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.port import NIPort
+from repro.core.shells.base import ConnectionShell, Message, ShellError
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class PointToPointShell(ConnectionShell):
+    """A shell bound to exactly one connection of a port."""
+
+    def __init__(self, name: str, port: NIPort, role: str = "master",
+                 conn: int = 0, tracer: Tracer = NULL_TRACER) -> None:
+        super().__init__(name=name, port=port, role=role, tracer=tracer)
+        if not 0 <= conn < port.num_connections:
+            raise ShellError(
+                f"shell {name}: port {port.name} has no connection {conn}")
+        self.conn = conn
+
+    def _select_conns(self, message: Message,
+                      conn: Optional[int]) -> Sequence[int]:
+        if conn is not None and conn != self.conn:
+            raise ShellError(
+                f"shell {self.name}: point-to-point shell is bound to "
+                f"connection {self.conn}, got {conn}")
+        return (self.conn,)
+
+    def _rx_conn_candidates(self) -> Sequence[int]:
+        return (self.conn,)

@@ -1,0 +1,52 @@
+"""Design-time instantiation: specifications, XML, generation, area and timing.
+
+"The number of ports and their type (i.e., configuration port, master port,
+or slave port), the number of connections at each port, memory allocated for
+the queues, the level of services per port, and the interface to the IP
+modules are all configurable at design (instantiation) time using an XML
+description."  (Section 1)
+
+This package provides the specification dataclasses, the XML serialization,
+an instance generator that builds runnable simulation systems from a spec,
+and the calibrated area/timing models that reproduce the synthesis figures of
+Section 5.
+"""
+
+from repro.design.area import (
+    AreaModel,
+    AreaReport,
+    REFERENCE_KERNEL_AREA_MM2,
+    REFERENCE_TOTAL_AREA_MM2,
+)
+from repro.design.generator import SystemModel, build_system
+from repro.design.spec import (
+    ChannelSpec,
+    NISpec,
+    NoCSpec,
+    PortSpec,
+    SpecError,
+    reference_ni_spec,
+    reference_noc_spec,
+)
+from repro.design.timing import LatencyModel, TimingModel
+from repro.design.xml_io import from_xml, to_xml
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "ChannelSpec",
+    "LatencyModel",
+    "NISpec",
+    "NoCSpec",
+    "PortSpec",
+    "REFERENCE_KERNEL_AREA_MM2",
+    "REFERENCE_TOTAL_AREA_MM2",
+    "SpecError",
+    "SystemModel",
+    "TimingModel",
+    "build_system",
+    "from_xml",
+    "reference_ni_spec",
+    "reference_noc_spec",
+    "to_xml",
+]

@@ -1,0 +1,135 @@
+"""Instance generation: build a runnable simulated system from a spec.
+
+This mirrors the paper's XML-to-VHDL generation flow: :func:`build_system`
+takes a :class:`~repro.design.spec.NoCSpec` and instantiates the simulator,
+the topology, the routers and links, every NI kernel with its channels and
+ports, and one clock domain per NI port.  Shells, IP modules and connections
+are application-level decisions and are added on top by the examples,
+testbenches and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.config.manager import FunctionalConfigurator
+from repro.config.slot_allocation import CentralizedSlotAllocator
+from repro.core.kernel import NIKernel
+from repro.core.ni import NetworkInterface
+from repro.design.spec import NISpec, NoCSpec, SpecError
+from repro.network.noc import NoC, NoCBuilder
+from repro.network.topology import Topology
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class SystemModel:
+    """A generated system: simulator, network and NI instances."""
+
+    spec: NoCSpec
+    sim: Simulator
+    noc: NoC
+    nis: Dict[str, NetworkInterface] = field(default_factory=dict)
+    port_clocks: Dict[Tuple[str, str], Clock] = field(default_factory=dict)
+    allocator: Optional[CentralizedSlotAllocator] = None
+
+    # --------------------------------------------------------------- lookups
+    @property
+    def kernels(self) -> Dict[str, NIKernel]:
+        return {name: ni.kernel for name, ni in self.nis.items()}
+
+    def ni(self, name: str) -> NetworkInterface:
+        return self.nis[name]
+
+    def kernel(self, name: str) -> NIKernel:
+        return self.nis[name].kernel
+
+    def port_clock(self, ni_name: str, port_name: str) -> Clock:
+        return self.port_clocks[(ni_name, port_name)]
+
+    def functional_configurator(self) -> FunctionalConfigurator:
+        return FunctionalConfigurator(self.kernels, allocator=self.allocator)
+
+    # --------------------------------------------------------------- running
+    def start(self) -> None:
+        """Start every clock (idempotent)."""
+        self.noc.flit_clock.start()
+        for clock in self.port_clocks.values():
+            clock.start()
+
+    def run_flit_cycles(self, cycles: int) -> None:
+        """Run the simulation for ``cycles`` network flit cycles."""
+        self.start()
+        self.sim.run_for(cycles * self.noc.flit_clock.period_ps)
+
+    def run_ns(self, nanoseconds: float) -> None:
+        self.start()
+        self.sim.run_for(int(nanoseconds * 1000))
+
+
+def _build_topology(spec: NoCSpec) -> Topology:
+    if spec.topology == "mesh":
+        return Topology.mesh(spec.rows, spec.cols)
+    if spec.topology == "ring":
+        return Topology.ring(max(spec.rows * spec.cols, spec.cols))
+    return Topology.single_router()
+
+
+def build_system(spec: NoCSpec, sim: Optional[Simulator] = None,
+                 router_slot_tables: bool = False,
+                 strict_gt: bool = True,
+                 tracer: Tracer = NULL_TRACER) -> SystemModel:
+    """Instantiate a complete simulated system from a NoC specification."""
+    sim = sim if sim is not None else Simulator()
+    topology = _build_topology(spec)
+
+    builder = NoCBuilder(topology, num_slots=spec.num_slots,
+                         be_buffer_flits=spec.be_buffer_flits,
+                         router_slot_tables=router_slot_tables,
+                         strict_gt=strict_gt,
+                         routing_algorithm=spec.routing,
+                         tracer=tracer)
+    for ni_spec in spec.nis:
+        if ni_spec.router not in topology.graph:
+            raise SpecError(
+                f"NI {ni_spec.name}: router {ni_spec.router!r} is not part of "
+                f"the {spec.topology} topology")
+        builder.add_ni(ni_spec.name, ni_spec.router)
+    noc = builder.build(sim)
+
+    system = SystemModel(spec=spec, sim=sim, noc=noc,
+                         allocator=CentralizedSlotAllocator(spec.num_slots))
+
+    for ni_spec in spec.nis:
+        ni = _build_ni(ni_spec, sim, noc, system)
+        system.nis[ni_spec.name] = ni
+    return system
+
+
+def _build_ni(ni_spec: NISpec, sim: Simulator, noc: NoC,
+              system: SystemModel) -> NetworkInterface:
+    kernel = NIKernel(name=ni_spec.name, sim=sim,
+                      num_slots=ni_spec.num_slots,
+                      max_packet_words=ni_spec.max_packet_words,
+                      be_arbiter=ni_spec.be_arbiter,
+                      flit_period_ps=noc.flit_clock.period_ps)
+    ni = NetworkInterface(name=ni_spec.name, kernel=kernel)
+    for port_spec in ni_spec.ports:
+        port_clock = Clock(sim, port_spec.clock_mhz,
+                           name=f"{ni_spec.name}.{port_spec.name}.clk")
+        system.port_clocks[(ni_spec.name, port_spec.name)] = port_clock
+        ni.port_clocks[port_spec.name] = port_clock
+        channel_indices = []
+        for channel_spec in port_spec.channels:
+            channel = kernel.add_channel(
+                source_queue_words=channel_spec.source_queue_words,
+                dest_queue_words=channel_spec.dest_queue_words,
+                port_clock_period_ps=port_clock.period_ps)
+            channel_indices.append(channel.index)
+        kernel.add_port(port_spec.name, channel_indices)
+    kernel.attach(noc.attachment(ni_spec.name))
+    noc.flit_clock.add_component(kernel)
+    return ni

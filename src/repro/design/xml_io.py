@@ -1,0 +1,114 @@
+"""XML serialization of instance specifications.
+
+The paper's design flow generates VHDL for the NIs and the topology from an
+XML description; here the same XML describes the Python instances that
+:mod:`repro.design.generator` builds.  The schema is deliberately simple:
+
+.. code-block:: xml
+
+    <noc name="aethereal" topology="mesh" rows="1" cols="2" slots="8">
+      <ni name="ni0" router="0,0" slots="8" arbiter="round_robin">
+        <port name="m0" kind="master" protocol="dtl" shell="p2p" clock_mhz="200">
+          <channel source_queue="8" dest_queue="8"/>
+        </port>
+      </ni>
+    </noc>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Union
+
+from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec, SpecError
+
+
+def _router_to_str(router: object) -> str:
+    if isinstance(router, tuple):
+        return ",".join(str(x) for x in router)
+    return str(router)
+
+
+def _router_from_str(text: str) -> Union[int, tuple]:
+    if "," in text:
+        return tuple(int(x) for x in text.split(","))
+    return int(text)
+
+
+def to_xml(spec: NoCSpec) -> str:
+    """Serialize a NoC spec to an XML string."""
+    root = ET.Element("noc", {
+        "name": spec.name,
+        "topology": spec.topology,
+        "rows": str(spec.rows),
+        "cols": str(spec.cols),
+        "slots": str(spec.num_slots),
+        "be_buffer_flits": str(spec.be_buffer_flits),
+        "routing": spec.routing,
+    })
+    for ni in spec.nis:
+        ni_el = ET.SubElement(root, "ni", {
+            "name": ni.name,
+            "router": _router_to_str(ni.router),
+            "slots": str(ni.num_slots),
+            "arbiter": ni.be_arbiter,
+            "max_packet_words": str(ni.max_packet_words),
+        })
+        for port in ni.ports:
+            port_el = ET.SubElement(ni_el, "port", {
+                "name": port.name,
+                "kind": port.kind,
+                "protocol": port.protocol,
+                "shell": port.shell if port.shell else "none",
+                "clock_mhz": str(port.clock_mhz),
+            })
+            for channel in port.channels:
+                ET.SubElement(port_el, "channel", {
+                    "source_queue": str(channel.source_queue_words),
+                    "dest_queue": str(channel.dest_queue_words),
+                })
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_xml(text: str) -> NoCSpec:
+    """Parse a NoC spec from an XML string (inverse of :func:`to_xml`)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SpecError(f"malformed XML: {exc}") from exc
+    if root.tag != "noc":
+        raise SpecError(f"expected <noc> root element, got <{root.tag}>")
+    nis: List[NISpec] = []
+    for ni_el in root.findall("ni"):
+        ports: List[PortSpec] = []
+        for port_el in ni_el.findall("port"):
+            channels = [ChannelSpec(
+                source_queue_words=int(ch.get("source_queue", "8")),
+                dest_queue_words=int(ch.get("dest_queue", "8")))
+                for ch in port_el.findall("channel")]
+            if not channels:
+                channels = [ChannelSpec()]
+            shell = port_el.get("shell", "p2p")
+            ports.append(PortSpec(
+                name=port_el.get("name", "port"),
+                kind=port_el.get("kind", "master"),
+                protocol=port_el.get("protocol", "dtl"),
+                shell=None if shell == "none" else shell,
+                channels=channels,
+                clock_mhz=float(port_el.get("clock_mhz", "500"))))
+        nis.append(NISpec(
+            name=ni_el.get("name", "ni"),
+            router=_router_from_str(ni_el.get("router", "0")),
+            num_slots=int(ni_el.get("slots", "8")),
+            be_arbiter=ni_el.get("arbiter", "round_robin"),
+            max_packet_words=int(ni_el.get("max_packet_words", "23")),
+            ports=ports))
+    return NoCSpec(
+        name=root.get("name", "noc"),
+        topology=root.get("topology", "mesh"),
+        rows=int(root.get("rows", "1")),
+        cols=int(root.get("cols", "1")),
+        num_slots=int(root.get("slots", "8")),
+        be_buffer_flits=int(root.get("be_buffer_flits", "8")),
+        routing=root.get("routing", "auto"),
+        nis=nis)

@@ -1,0 +1,32 @@
+"""IP-module models: traffic-generating masters and memory/register slaves.
+
+These stand in for the hardware and software IP cores a real SoC would attach
+to the Aethereal NoC (video pixel processing chains, DSPs, memories).  They
+talk to the NI exclusively through the shells' transaction interfaces, which
+is exactly the decoupling of computation from communication the paper argues
+for.
+"""
+
+from repro.ip.master import TrafficGeneratorMaster
+from repro.ip.memory import SharedMemory
+from repro.ip.slave import MemorySlave, RegisterSlave, SlaveIP
+from repro.ip.traffic import (
+    BurstyTraffic,
+    ConstantBitRateTraffic,
+    RandomTraffic,
+    TrafficPattern,
+    VideoLineTraffic,
+)
+
+__all__ = [
+    "BurstyTraffic",
+    "ConstantBitRateTraffic",
+    "MemorySlave",
+    "RandomTraffic",
+    "RegisterSlave",
+    "SharedMemory",
+    "SlaveIP",
+    "TrafficGeneratorMaster",
+    "TrafficPattern",
+    "VideoLineTraffic",
+]

@@ -1,0 +1,118 @@
+"""Traffic-generating master IP module.
+
+A :class:`TrafficGeneratorMaster` drives a master shell with the transaction
+stream of a :class:`~repro.ip.traffic.TrafficPattern`, records per-transaction
+latency, and counts delivered words — the measurements experiments E2, E4,
+E5, E8 and E10 are built on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.shells.master import MasterShell
+from repro.ip.traffic import TrafficPattern
+from repro.protocol.transactions import Transaction, TransactionStatus
+from repro.sim.clock import ClockedComponent
+from repro.sim.stats import StatsRegistry
+
+
+class TrafficGeneratorMaster(ClockedComponent):
+    """A master IP that replays a traffic pattern into a master shell."""
+
+    def __init__(self, name: str, shell: MasterShell,
+                 pattern: Optional[TrafficPattern] = None,
+                 max_transactions: Optional[int] = None,
+                 stop_cycle: Optional[int] = None) -> None:
+        self.name = name
+        self.shell = shell
+        self.pattern = pattern
+        self.max_transactions = max_transactions
+        self.stop_cycle = stop_cycle
+        self.stats = StatsRegistry()
+        self.completed: List[Transaction] = []
+        self._backlog: Deque[Transaction] = deque()
+        self._generated = 0
+        self._cycle = 0
+
+    # -------------------------------------------------------------- control
+    def issue(self, transaction: Transaction) -> None:
+        """Explicitly queue one transaction (in addition to the pattern)."""
+        self._backlog.append(transaction)
+
+    def issue_many(self, transactions: List[Transaction]) -> None:
+        for transaction in transactions:
+            self.issue(transaction)
+
+    def done(self) -> bool:
+        """True when every generated transaction has completed."""
+        return (not self._backlog and self.shell.outstanding == 0
+                and self._pattern_exhausted())
+
+    def _pattern_exhausted(self) -> bool:
+        if self.pattern is None:
+            return True
+        if self.max_transactions is not None:
+            return self._generated >= self.max_transactions
+        if self.stop_cycle is not None:
+            return self._cycle >= self.stop_cycle
+        return False
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._generate(cycle)
+        self._submit(cycle)
+        self._collect(cycle)
+
+    def _generate(self, cycle: int) -> None:
+        if self.pattern is None:
+            return
+        if self.stop_cycle is not None and cycle >= self.stop_cycle:
+            return
+        if (self.max_transactions is not None
+                and self._generated >= self.max_transactions):
+            return
+        for transaction in self.pattern.transactions_for_cycle(cycle):
+            if (self.max_transactions is not None
+                    and self._generated >= self.max_transactions):
+                break
+            self._backlog.append(transaction)
+            self._generated += 1
+            self.stats.counter("transactions_generated").increment()
+
+    def _submit(self, cycle: int) -> None:
+        while self._backlog and self.shell.can_submit():
+            transaction = self._backlog.popleft()
+            if not self.shell.submit(transaction, cycle=cycle):
+                self._backlog.appendleft(transaction)
+                return
+            self.stats.counter("transactions_issued").increment()
+
+    def _collect(self, cycle: int) -> None:
+        for transaction in self.shell.poll_completed():
+            self.completed.append(transaction)
+            self.stats.counter("transactions_completed").increment()
+            if transaction.status == TransactionStatus.ERROR:
+                self.stats.counter("transaction_errors").increment()
+            if transaction.latency_cycles is not None:
+                self.stats.latency("latency").record(transaction.issue_cycle,
+                                                     transaction.complete_cycle)
+            self.stats.counter("words_completed").increment(
+                transaction.burst_length)
+
+    # ------------------------------------------------------------ reporting
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)
+
+    def latency_summary(self) -> dict:
+        recorder = self.stats.latency("latency")
+        return {
+            "count": recorder.count,
+            "min": recorder.minimum,
+            "mean": recorder.mean,
+            "max": recorder.maximum,
+            "jitter": recorder.jitter,
+        }

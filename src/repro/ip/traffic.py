@@ -1,0 +1,186 @@
+"""Traffic patterns for the master IP models.
+
+The paper motivates the NI with video pixel processing chains and mixed
+guaranteed/best-effort system traffic; these generators produce the
+corresponding transaction streams:
+
+* :class:`ConstantBitRateTraffic` — a write or read burst every fixed period
+  (the streaming traffic GT connections are designed for);
+* :class:`BurstyTraffic` — on/off bursts (control traffic, cache refills);
+* :class:`RandomTraffic` — memoryless transaction arrivals from a seeded
+  generator (deterministic across runs);
+* :class:`VideoLineTraffic` — line-structured traffic: a burst of pixel words
+  per video line with a line-blanking gap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.protocol.transactions import Transaction
+
+
+class TrafficPattern:
+    """Interface: transactions to issue at a given master-clock cycle."""
+
+    def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
+        raise NotImplementedError
+
+    def expected_words_per_cycle(self) -> float:
+        """Average payload words per cycle (used for slot budgeting)."""
+        raise NotImplementedError
+
+
+class ConstantBitRateTraffic(TrafficPattern):
+    """A fixed-size transaction every ``period_cycles`` cycles."""
+
+    def __init__(self, period_cycles: int, burst_words: int = 4,
+                 write: bool = True, posted: bool = False,
+                 base_address: int = 0x0, address_stride: int = 4,
+                 address_wrap: int = 1 << 20,
+                 start_cycle: int = 0) -> None:
+        if period_cycles <= 0:
+            raise ValueError("period must be positive")
+        if burst_words <= 0:
+            raise ValueError("burst must move at least one word")
+        self.period_cycles = period_cycles
+        self.burst_words = burst_words
+        self.write = write
+        self.posted = posted
+        self.base_address = base_address
+        self.address_stride = address_stride
+        self.address_wrap = address_wrap
+        self.start_cycle = start_cycle
+        self._issued = 0
+
+    def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
+        if cycle < self.start_cycle:
+            return []
+        if (cycle - self.start_cycle) % self.period_cycles != 0:
+            return []
+        offset = (self._issued * self.address_stride) % self.address_wrap
+        address = self.base_address + offset
+        self._issued += 1
+        if self.write:
+            data = [(cycle + i) & 0xFFFFFFFF for i in range(self.burst_words)]
+            return [Transaction.write(address, data, posted=self.posted)]
+        return [Transaction.read(address, length=self.burst_words)]
+
+    def expected_words_per_cycle(self) -> float:
+        return self.burst_words / self.period_cycles
+
+
+class BurstyTraffic(TrafficPattern):
+    """On/off traffic: ``burst_transactions`` back to back, then silence."""
+
+    def __init__(self, on_cycles: int, off_cycles: int, burst_words: int = 4,
+                 write: bool = True, base_address: int = 0x0,
+                 posted: bool = False) -> None:
+        if on_cycles <= 0 or off_cycles < 0:
+            raise ValueError("invalid burst shape")
+        self.on_cycles = on_cycles
+        self.off_cycles = off_cycles
+        self.burst_words = burst_words
+        self.write = write
+        self.posted = posted
+        self.base_address = base_address
+        self._issued = 0
+
+    def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
+        phase = cycle % (self.on_cycles + self.off_cycles)
+        if phase >= self.on_cycles:
+            return []
+        address = self.base_address + (self._issued * 4) % (1 << 16)
+        self._issued += 1
+        if self.write:
+            data = [cycle & 0xFFFFFFFF] * self.burst_words
+            return [Transaction.write(address, data, posted=self.posted)]
+        return [Transaction.read(address, length=self.burst_words)]
+
+    def expected_words_per_cycle(self) -> float:
+        duty = self.on_cycles / (self.on_cycles + self.off_cycles)
+        return duty * self.burst_words
+
+
+class RandomTraffic(TrafficPattern):
+    """Memoryless arrivals with a seeded random generator (deterministic)."""
+
+    def __init__(self, injection_probability: float, burst_words: int = 4,
+                 read_fraction: float = 0.5, base_address: int = 0x0,
+                 address_space: int = 1 << 16, seed: int = 1) -> None:
+        if not 0.0 <= injection_probability <= 1.0:
+            raise ValueError("injection probability must be in [0, 1]")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+        self.injection_probability = injection_probability
+        self.burst_words = burst_words
+        self.read_fraction = read_fraction
+        self.base_address = base_address
+        self.address_space = address_space
+        self._rng = random.Random(seed)
+
+    def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
+        if self._rng.random() >= self.injection_probability:
+            return []
+        address = self.base_address + 4 * self._rng.randrange(
+            max(1, self.address_space // 4))
+        if self._rng.random() < self.read_fraction:
+            return [Transaction.read(address, length=self.burst_words)]
+        data = [self._rng.getrandbits(32) for _ in range(self.burst_words)]
+        return [Transaction.write(address, data)]
+
+    def expected_words_per_cycle(self) -> float:
+        return self.injection_probability * self.burst_words
+
+
+class VideoLineTraffic(TrafficPattern):
+    """Line-structured pixel traffic (the paper's video processing use case).
+
+    Each video line consists of ``pixels_per_line`` words written in bursts of
+    ``burst_words``; between lines the generator is silent for
+    ``blanking_cycles`` cycles.
+    """
+
+    def __init__(self, pixels_per_line: int = 64, burst_words: int = 8,
+                 cycles_per_burst: int = 16, blanking_cycles: int = 32,
+                 base_address: int = 0x0, posted: bool = True) -> None:
+        if pixels_per_line <= 0 or burst_words <= 0 or cycles_per_burst <= 0:
+            raise ValueError("invalid video line shape")
+        self.pixels_per_line = pixels_per_line
+        self.burst_words = burst_words
+        self.cycles_per_burst = cycles_per_burst
+        self.blanking_cycles = blanking_cycles
+        self.base_address = base_address
+        self.posted = posted
+        self.bursts_per_line = -(-pixels_per_line // burst_words)
+        self.line_cycles = (self.bursts_per_line * cycles_per_burst
+                            + blanking_cycles)
+        self._line = 0
+
+    def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
+        phase = cycle % self.line_cycles
+        active_cycles = self.bursts_per_line * self.cycles_per_burst
+        if phase >= active_cycles or phase % self.cycles_per_burst != 0:
+            if phase == self.line_cycles - 1:
+                self._line += 1
+            return []
+        burst_index = phase // self.cycles_per_burst
+        words_left = self.pixels_per_line - burst_index * self.burst_words
+        words = min(self.burst_words, words_left)
+        line = cycle // self.line_cycles
+        address = (self.base_address
+                   + 4 * (line * self.pixels_per_line
+                          + burst_index * self.burst_words))
+        data = [((line & 0xFFFF) << 16 | i) for i in range(words)]
+        return [Transaction.write(address, data, posted=self.posted)]
+
+    def expected_words_per_cycle(self) -> float:
+        return self.pixels_per_line / self.line_cycles
+
+
+def merge_patterns(patterns: List[TrafficPattern], cycle: int) -> Iterator[Transaction]:
+    """Chain the transactions of several patterns for one cycle."""
+    for pattern in patterns:
+        for transaction in pattern.transactions_for_cycle(cycle):
+            yield transaction

@@ -1,0 +1,121 @@
+"""Point-to-point links between routers and between NIs and routers.
+
+A link carries at most one flit per flit cycle in one direction (a flit is
+three words; the underlying 32-bit wires move one word per 500 MHz cycle).
+Links are modeled as a single register stage: a flit sent during cycle *t*
+becomes visible to the sink at cycle *t+1*, giving one cycle of link latency
+per hop.
+
+Best-effort traffic uses link-level backpressure: the sender calls
+:meth:`Link.can_send_be` which queries the sink's free best-effort buffer
+space (modeling the flow-control wires of the router of [21]).  Guaranteed
+traffic is never blocked — the slot allocation makes it contention-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.network.packet import Flit
+from repro.sim.clock import ClockedComponent
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class LinkContentionError(RuntimeError):
+    """Two flits were offered to the same link in the same cycle."""
+
+
+class Link(ClockedComponent):
+    """A unidirectional link with one register stage."""
+
+    def __init__(self, name: str, tracer: Tracer = NULL_TRACER,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        self.name = name
+        self.tracer = tracer
+        self.stats = stats if stats is not None else StatsRegistry()
+        #: Component consuming flits from this link; must expose
+        #: ``be_space(port_index) -> int`` for best-effort backpressure.
+        self.sink: Optional[object] = None
+        self.sink_port: int = 0
+        self.source: Optional[object] = None
+        self.source_port: int = 0
+        self._stage: Optional[Flit] = None
+        self._incoming: Optional[Flit] = None
+        self.flits_carried = 0
+        self.words_carried = 0
+        self.gt_flits_carried = 0
+        self.be_flits_carried = 0
+
+    # ---------------------------------------------------------------- wiring
+    def connect(self, source: object, source_port: int,
+                sink: object, sink_port: int) -> None:
+        self.source = source
+        self.source_port = source_port
+        self.sink = sink
+        self.sink_port = sink_port
+
+    # --------------------------------------------------------------- sending
+    def can_send(self) -> bool:
+        """True when no flit has been offered this cycle."""
+        return self._incoming is None
+
+    def can_send_be(self) -> bool:
+        """True when a best-effort flit may be sent without overflowing the sink."""
+        if self._incoming is not None:
+            return False
+        if self.sink is None or not hasattr(self.sink, "be_space"):
+            return True
+        in_flight = (1 if self._stage is not None else 0)
+        return self.sink.be_space(self.sink_port) - in_flight > 0
+
+    def send(self, flit: Flit) -> None:
+        if self._incoming is not None:
+            raise LinkContentionError(
+                f"link {self.name}: two flits offered in the same cycle "
+                f"({self._incoming!r} and {flit!r})")
+        self._incoming = flit
+        self.flits_carried += 1
+        self.words_carried += flit.num_words
+        if flit.is_gt:
+            self.gt_flits_carried += 1
+        else:
+            self.be_flits_carried += 1
+
+    # ------------------------------------------------------------- receiving
+    def peek(self) -> Optional[Flit]:
+        """The flit available to the sink this cycle (without consuming it)."""
+        return self._stage
+
+    def take(self) -> Optional[Flit]:
+        """Consume the flit available this cycle (None if the link is idle)."""
+        flit = self._stage
+        self._stage = None
+        return flit
+
+    @property
+    def occupancy(self) -> int:
+        """Flits currently inside the link register stages."""
+        return (1 if self._stage is not None else 0) + \
+               (1 if self._incoming is not None else 0)
+
+    # ----------------------------------------------------------------- clock
+    def post_tick(self, cycle: int) -> None:
+        if self._incoming is not None:
+            if self._stage is not None:
+                # The sink failed to drain the previous flit.  GT flits are
+                # always drained; BE senders check space first, so this is a
+                # model bug rather than a legal network condition.
+                raise LinkContentionError(
+                    f"link {self.name}: sink did not drain flit {self._stage!r}")
+            self._stage = self._incoming
+            self._incoming = None
+
+    def utilization(self, window_cycles: int) -> float:
+        """Fraction of flit cycles the link carried a flit over ``window_cycles``."""
+        if window_cycles <= 0:
+            raise ValueError("window must be positive")
+        return self.flits_carried / window_cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Link({self.name})"

@@ -1,0 +1,237 @@
+"""NoC assembly: routers, links and NI attachment points.
+
+:class:`NoCBuilder` collects the topology and the NI attachment declarations,
+then :meth:`NoCBuilder.build` instantiates routers (with the right number of
+ports), the links between them, and one link pair per attached NI.  The
+resulting :class:`NoC` computes source routes between attachments and exposes
+the per-link identifiers that the slot allocator reserves slots on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.network.link import Link
+from repro.network.packet import FLIT_WORDS, NETWORK_FREQUENCY_MHZ
+from repro.network.router import Router
+from repro.network.routing import (
+    compute_route,
+    ports_from_router_sequence,
+    router_sequence_shortest,
+    router_sequence_xy,
+)
+from repro.network.slot_table import RouterSlotTable
+from repro.network.topology import PortMap, Topology, TopologyError, build_port_map
+from repro.sim.clock import Clock
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Identifier of a link for slot-allocation purposes.
+LinkId = Tuple[str, str]
+
+
+@dataclass
+class Attachment:
+    """One NI attachment point on the NoC."""
+
+    name: str
+    router_node: Hashable
+    local_index: int
+    local_port: int
+    to_network: Link
+    from_network: Link
+
+
+class NoC:
+    """A built network: routers, links and attachment points."""
+
+    def __init__(self, sim: Simulator, topology: Topology, port_map: PortMap,
+                 flit_clock: Clock, routers: Dict[Hashable, Router],
+                 links: Dict[LinkId, Link],
+                 attachments: Dict[str, Attachment],
+                 routing_algorithm: str = "auto",
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.port_map = port_map
+        self.flit_clock = flit_clock
+        self.routers = routers
+        self.links = links
+        self.attachments = attachments
+        self.routing_algorithm = routing_algorithm
+        self.tracer = tracer
+        self.stats = StatsRegistry()
+
+    # -------------------------------------------------------------- lookups
+    def attachment(self, name: str) -> Attachment:
+        try:
+            return self.attachments[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown NI attachment {name!r}") from exc
+
+    def router(self, node: Hashable) -> Router:
+        return self.routers[node]
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.routers)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    # --------------------------------------------------------------- routing
+    def router_sequence(self, src_name: str, dst_name: str) -> List[Hashable]:
+        src = self.attachment(src_name)
+        dst = self.attachment(dst_name)
+        if self.routing_algorithm == "xy":
+            return router_sequence_xy(self.topology, src.router_node,
+                                      dst.router_node)
+        if self.routing_algorithm == "shortest":
+            return router_sequence_shortest(self.topology, src.router_node,
+                                            dst.router_node)
+        try:
+            return router_sequence_xy(self.topology, src.router_node,
+                                      dst.router_node)
+        except Exception:
+            return router_sequence_shortest(self.topology, src.router_node,
+                                            dst.router_node)
+
+    def route(self, src_name: str, dst_name: str) -> Tuple[int, ...]:
+        """Source route (output port per router) from one NI to another."""
+        dst = self.attachment(dst_name)
+        sequence = self.router_sequence(src_name, dst_name)
+        return ports_from_router_sequence(self.port_map, sequence,
+                                          dst.local_port)
+
+    def route_link_ids(self, src_name: str, dst_name: str) -> List[LinkId]:
+        """Every link (including NI-router links) a route traverses, in order."""
+        src = self.attachment(src_name)
+        dst = self.attachment(dst_name)
+        sequence = self.router_sequence(src_name, dst_name)
+        ids: List[LinkId] = [(f"ni:{src_name}", f"router:{sequence[0]!r}")]
+        for a, b in zip(sequence, sequence[1:]):
+            ids.append((f"router:{a!r}", f"router:{b!r}"))
+        ids.append((f"router:{sequence[-1]!r}", f"ni:{dst_name}"))
+        del src, dst
+        return ids
+
+    def hop_count(self, src_name: str, dst_name: str) -> int:
+        """Number of routers traversed between two NIs."""
+        return len(self.router_sequence(src_name, dst_name))
+
+    # ------------------------------------------------------------ statistics
+    def total_flits_forwarded(self) -> int:
+        return sum(r.stats.counter("gt_flits_out").value +
+                   r.stats.counter("be_flits_out").value
+                   for r in self.routers.values())
+
+    def link_utilization(self, window_cycles: int) -> Dict[LinkId, float]:
+        return {lid: link.utilization(window_cycles)
+                for lid, link in self.links.items()}
+
+
+class NoCBuilder:
+    """Collects the topology and NI attachments, then builds the network."""
+
+    def __init__(self, topology: Topology, num_slots: int = 8,
+                 be_buffer_flits: int = 8,
+                 router_slot_tables: bool = False,
+                 strict_gt: bool = True,
+                 routing_algorithm: str = "auto",
+                 flit_frequency_mhz: Optional[float] = None,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.topology = topology
+        self.num_slots = num_slots
+        self.be_buffer_flits = be_buffer_flits
+        self.router_slot_tables = router_slot_tables
+        self.strict_gt = strict_gt
+        self.routing_algorithm = routing_algorithm
+        self.tracer = tracer
+        #: The network moves one flit (3 words) per flit-clock cycle; the
+        #: word-level clock of the prototype is 500 MHz, so the flit clock is
+        #: 500/3 MHz unless overridden.
+        self.flit_frequency_mhz = (flit_frequency_mhz if flit_frequency_mhz
+                                   else NETWORK_FREQUENCY_MHZ / FLIT_WORDS)
+        self._declared: List[Tuple[str, Hashable]] = []
+
+    # ------------------------------------------------------------- declaring
+    def add_ni(self, name: str, router_node: Hashable) -> None:
+        if router_node not in self.topology.graph:
+            raise TopologyError(f"unknown router {router_node!r}")
+        if any(existing == name for existing, _ in self._declared):
+            raise TopologyError(f"duplicate NI attachment name {name!r}")
+        self._declared.append((name, router_node))
+
+    @property
+    def declared_nis(self) -> List[Tuple[str, Hashable]]:
+        return list(self._declared)
+
+    # -------------------------------------------------------------- building
+    def build(self, sim: Simulator) -> NoC:
+        local_counts: Dict[Hashable, int] = {}
+        for _, node in self._declared:
+            local_counts[node] = local_counts.get(node, 0) + 1
+        for node in self.topology.routers:
+            local_counts.setdefault(node, 0)
+        port_map = build_port_map(self.topology, local_counts)
+
+        flit_clock = Clock(sim, self.flit_frequency_mhz, name="flit_clk")
+
+        routers: Dict[Hashable, Router] = {}
+        for node in self.topology.routers:
+            slot_table = None
+            if self.router_slot_tables:
+                slot_table = RouterSlotTable(port_map.num_ports[node],
+                                             self.num_slots)
+            router = Router(name=f"R{node!r}",
+                            num_ports=port_map.num_ports[node],
+                            be_buffer_flits=self.be_buffer_flits,
+                            slot_table=slot_table,
+                            strict_gt=self.strict_gt,
+                            tracer=self.tracer)
+            routers[node] = router
+            flit_clock.add_component(router)
+
+        links: Dict[LinkId, Link] = {}
+
+        def make_link(link_id: LinkId) -> Link:
+            link = Link(name=f"{link_id[0]}->{link_id[1]}", tracer=self.tracer)
+            links[link_id] = link
+            flit_clock.add_component(link)
+            return link
+
+        # Router-to-router links (both directions per topology edge).
+        for a in self.topology.routers:
+            for b in self.topology.neighbors(a):
+                link_id = (f"router:{a!r}", f"router:{b!r}")
+                if link_id in links:
+                    continue
+                link = make_link(link_id)
+                routers[a].connect_output(port_map.port_toward(a, b), link)
+                routers[b].connect_input(port_map.port_toward(b, a), link)
+
+        # NI attachment links.
+        attachments: Dict[str, Attachment] = {}
+        per_node_index: Dict[Hashable, int] = {}
+        for name, node in self._declared:
+            local_index = per_node_index.get(node, 0)
+            per_node_index[node] = local_index + 1
+            local_port = port_map.local_port(node, local_index)
+            to_net = make_link((f"ni:{name}", f"router:{node!r}"))
+            from_net = make_link((f"router:{node!r}", f"ni:{name}"))
+            routers[node].connect_input(local_port, to_net)
+            routers[node].connect_output(local_port, from_net)
+            attachments[name] = Attachment(name=name, router_node=node,
+                                           local_index=local_index,
+                                           local_port=local_port,
+                                           to_network=to_net,
+                                           from_network=from_net)
+
+        return NoC(sim=sim, topology=self.topology, port_map=port_map,
+                   flit_clock=flit_clock, routers=routers, links=links,
+                   attachments=attachments,
+                   routing_algorithm=self.routing_algorithm,
+                   tracer=self.tracer)

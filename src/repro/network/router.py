@@ -1,0 +1,254 @@
+"""The combined guaranteed-throughput / best-effort router.
+
+This reproduces, at flit granularity, the router of Rijpkema et al. (DATE
+2003) that the paper's NI attaches to:
+
+* **GT traffic** travels on reserved TDM slots.  Because the slot allocation
+  guarantees that at most one GT channel owns a given output in a given slot,
+  GT forwarding is contention-free; the router simply forwards any GT flit at
+  its input in the cycle it arrives.  Two GT flits competing for the same
+  output indicates a broken slot allocation and raises
+  :class:`SlotConflictError` (unless ``strict_gt=False``, used to study the
+  conflicts that a distributed configuration must detect).
+* **BE traffic** is wormhole-routed from small per-input buffers with
+  round-robin arbitration per output and link-level backpressure.  GT flits
+  always win a slot over BE flits.
+
+Routers are source-routed: the packet header carries one output port per
+router along the path, consumed hop by hop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.network.link import Link
+from repro.network.packet import Flit
+from repro.network.slot_table import RouterSlotTable
+from repro.sim.clock import ClockedComponent
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class SlotConflictError(RuntimeError):
+    """Two guaranteed-throughput flits requested the same output in one slot."""
+
+
+class BufferOverflowError(RuntimeError):
+    """A best-effort flit arrived at a full input buffer (backpressure bug)."""
+
+
+@dataclass
+class _InputState:
+    """Per-input-port buffering and wormhole state."""
+
+    gt_queue: Deque[Flit] = field(default_factory=deque)
+    be_queue: Deque[Flit] = field(default_factory=deque)
+    gt_active_output: Optional[int] = None
+    be_active_output: Optional[int] = None
+
+
+class Router(ClockedComponent):
+    """A single GT/BE router."""
+
+    def __init__(self, name: str, num_ports: int, be_buffer_flits: int = 8,
+                 slot_table: Optional[RouterSlotTable] = None,
+                 strict_gt: bool = True,
+                 tracer: Tracer = NULL_TRACER,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        if num_ports <= 0:
+            raise ValueError("router needs at least one port")
+        if be_buffer_flits <= 0:
+            raise ValueError("best-effort buffers need at least one flit")
+        self.name = name
+        self.num_ports = num_ports
+        self.be_buffer_flits = be_buffer_flits
+        self.slot_table = slot_table
+        self.strict_gt = strict_gt
+        self.tracer = tracer
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.in_links: List[Optional[Link]] = [None] * num_ports
+        self.out_links: List[Optional[Link]] = [None] * num_ports
+        self._inputs = [_InputState() for _ in range(num_ports)]
+        self._be_rr_pointer = [0] * num_ports
+        self._be_output_locked_input: List[Optional[int]] = [None] * num_ports
+        self._cycle = 0
+
+    # ---------------------------------------------------------------- wiring
+    def connect_input(self, port: int, link: Link) -> None:
+        self._check_port(port)
+        link.sink = self
+        link.sink_port = port
+        self.in_links[port] = link
+
+    def connect_output(self, port: int, link: Link) -> None:
+        self._check_port(port)
+        link.source = self
+        link.source_port = port
+        self.out_links[port] = link
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise ValueError(f"router {self.name}: port {port} out of range")
+
+    # ---------------------------------------------------------- backpressure
+    def be_space(self, port: int) -> int:
+        """Free best-effort buffer slots at input ``port`` (link flow control)."""
+        self._check_port(port)
+        return self.be_buffer_flits - len(self._inputs[port].be_queue)
+
+    # ----------------------------------------------------------------- clock
+    def tick(self, cycle: int) -> None:
+        self._cycle = cycle
+        self._accept_incoming(cycle)
+        self._forward(cycle)
+
+    # -------------------------------------------------------------- incoming
+    def _accept_incoming(self, cycle: int) -> None:
+        for port, link in enumerate(self.in_links):
+            if link is None:
+                continue
+            flit = link.take()
+            if flit is None:
+                continue
+            state = self._inputs[port]
+            if flit.is_gt:
+                state.gt_queue.append(flit)
+                self.stats.counter("gt_flits_in").increment()
+                self._check_slot_reservation(port, flit, cycle)
+            else:
+                if len(state.be_queue) >= self.be_buffer_flits:
+                    raise BufferOverflowError(
+                        f"router {self.name}: BE buffer overflow at input {port}")
+                state.be_queue.append(flit)
+                self.stats.counter("be_flits_in").increment()
+
+    def _check_slot_reservation(self, port: int, flit: Flit, cycle: int) -> None:
+        """In the distributed model, verify the arriving GT flit owns its slot."""
+        if self.slot_table is None or not flit.is_head:
+            return
+        slot = cycle % self.slot_table.num_slots
+        output = flit.packet.peek_route()
+        owner = self.slot_table.owner(output, slot)
+        if owner is not None and owner != flit.packet.header.channel_key:
+            self.stats.counter("slot_reservation_mismatches").increment()
+            self.tracer.record(0, self.name, "slot_mismatch",
+                               slot=slot, output=output,
+                               owner=owner,
+                               channel=flit.packet.header.channel_key)
+
+    # ------------------------------------------------------------ forwarding
+    def _forward(self, cycle: int) -> None:
+        used_outputs = self._forward_gt(cycle)
+        self._forward_be(cycle, used_outputs)
+
+    def _forward_gt(self, cycle: int) -> set:
+        requests: Dict[int, List[int]] = {}
+        for port, state in enumerate(self._inputs):
+            if not state.gt_queue:
+                continue
+            flit = state.gt_queue[0]
+            if flit.is_head:
+                output = flit.packet.peek_route()
+            else:
+                if state.gt_active_output is None:
+                    raise SlotConflictError(
+                        f"router {self.name}: GT body flit with no active output")
+                output = state.gt_active_output
+            requests.setdefault(output, []).append(port)
+        used = set()
+        for output, ports in sorted(requests.items()):
+            if len(ports) > 1:
+                self.stats.counter("gt_conflicts").increment()
+                if self.strict_gt:
+                    keys = [self._inputs[p].gt_queue[0].packet.header.channel_key
+                            for p in ports]
+                    raise SlotConflictError(
+                        f"router {self.name}: GT slot conflict on output {output} "
+                        f"in cycle {cycle} between channels {keys}")
+            port = ports[0]
+            self._send_flit(port, output, gt=True, cycle=cycle)
+            used.add(output)
+        return used
+
+    def _forward_be(self, cycle: int, used_outputs: set) -> None:
+        for output in range(self.num_ports):
+            if output in used_outputs:
+                continue
+            link = self.out_links[output]
+            if link is None:
+                continue
+            locked = self._be_output_locked_input[output]
+            if locked is not None:
+                candidates = [locked]
+            else:
+                start = self._be_rr_pointer[output]
+                candidates = [(start + k) % self.num_ports
+                              for k in range(self.num_ports)]
+            for port in candidates:
+                state = self._inputs[port]
+                if not state.be_queue:
+                    continue
+                flit = state.be_queue[0]
+                if flit.is_head:
+                    if state.be_active_output is not None:
+                        continue
+                    desired = flit.packet.peek_route()
+                else:
+                    desired = state.be_active_output
+                if desired != output:
+                    continue
+                if not link.can_send_be():
+                    self.stats.counter("be_backpressure_stalls").increment()
+                    break
+                self._send_flit(port, output, gt=False, cycle=cycle)
+                if locked is None:
+                    self._be_rr_pointer[output] = (port + 1) % self.num_ports
+                break
+
+    def _send_flit(self, port: int, output: int, gt: bool, cycle: int) -> None:
+        state = self._inputs[port]
+        queue = state.gt_queue if gt else state.be_queue
+        flit = queue.popleft()
+        link = self.out_links[output]
+        if link is None:
+            raise SlotConflictError(
+                f"router {self.name}: no link on output {output}")
+        if flit.is_head:
+            taken = flit.packet.advance_route()
+            if taken != output:
+                raise SlotConflictError(
+                    f"router {self.name}: route mismatch "
+                    f"(expected {taken}, forwarding to {output})")
+            if gt:
+                state.gt_active_output = output
+            else:
+                state.be_active_output = output
+                self._be_output_locked_input[output] = port
+        if flit.is_tail:
+            if gt:
+                state.gt_active_output = None
+            else:
+                state.be_active_output = None
+                self._be_output_locked_input[output] = None
+        link.send(flit)
+        kind = "gt" if gt else "be"
+        self.stats.counter(f"{kind}_flits_out").increment()
+        self.stats.rate("flits_out").add(cycle)
+        self.tracer.record(0, self.name, "forward",
+                           input=port, output=output, traffic=kind,
+                           packet=flit.packet.packet_id, flit=flit.index)
+
+    # ------------------------------------------------------------- inspection
+    def buffered_flits(self) -> int:
+        """Total flits buffered in this router (cost metric of [21])."""
+        return sum(len(s.gt_queue) + len(s.be_queue) for s in self._inputs)
+
+    def be_queue_depth(self, port: int) -> int:
+        self._check_port(port)
+        return len(self._inputs[port].be_queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Router({self.name}, ports={self.num_ports})"

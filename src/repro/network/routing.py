@@ -1,0 +1,106 @@
+"""Source-route computation.
+
+Aethereal uses source routing: the packet header carries the sequence of
+output ports to take at every router along the path (Section 4.1: "a packet
+header consists of the routing information (... path for source routing)").
+
+Routes are computed either by minimal XY routing on meshes (deadlock-free for
+best-effort wormhole traffic) or by shortest-path routing on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.network.topology import PortMap, Topology, TopologyError, mesh_coordinates
+
+
+class RouteError(ValueError):
+    """Raised when no route can be produced."""
+
+
+def router_sequence_xy(topology: Topology, src: Hashable,
+                       dst: Hashable) -> List[Hashable]:
+    """Dimension-ordered (X then Y) router sequence on a mesh."""
+    sr, sc = mesh_coordinates(src)
+    dr, dc = mesh_coordinates(dst)
+    sequence: List[Hashable] = [(sr, sc)]
+    r, c = sr, sc
+    while c != dc:
+        c += 1 if dc > c else -1
+        sequence.append((r, c))
+    while r != dr:
+        r += 1 if dr > r else -1
+        sequence.append((r, c))
+    for a, b in zip(sequence, sequence[1:]):
+        if not topology.graph.has_edge(a, b):
+            raise RouteError(f"XY route uses missing link {a!r} -> {b!r}")
+    return sequence
+
+
+def router_sequence_shortest(topology: Topology, src: Hashable,
+                             dst: Hashable) -> List[Hashable]:
+    try:
+        return topology.shortest_path(src, dst)
+    except TopologyError as exc:
+        raise RouteError(str(exc)) from exc
+
+
+def ports_from_router_sequence(port_map: PortMap,
+                               sequence: List[Hashable],
+                               final_local_port: int) -> Tuple[int, ...]:
+    """Convert a router sequence into a source route of output ports.
+
+    The route has one entry per router traversed: at every router except the
+    last, the port toward the next router; at the last router, the local port
+    of the destination NI.
+    """
+    if not sequence:
+        raise RouteError("empty router sequence")
+    ports: List[int] = []
+    for here, nxt in zip(sequence, sequence[1:]):
+        ports.append(port_map.port_toward(here, nxt))
+    ports.append(final_local_port)
+    return tuple(ports)
+
+
+def xy_route(topology: Topology, port_map: PortMap, src: Hashable,
+             dst: Hashable, final_local_port: int) -> Tuple[int, ...]:
+    """Minimal XY source route between two routers of a mesh."""
+    sequence = router_sequence_xy(topology, src, dst)
+    return ports_from_router_sequence(port_map, sequence, final_local_port)
+
+
+def compute_route(topology: Topology, port_map: PortMap, src: Hashable,
+                  dst: Hashable, final_local_port: int,
+                  algorithm: str = "auto") -> Tuple[int, ...]:
+    """Compute a source route.
+
+    ``algorithm`` is ``"xy"``, ``"shortest"`` or ``"auto"`` (XY when both
+    endpoints carry mesh coordinates, shortest-path otherwise).
+    """
+    if algorithm not in ("auto", "xy", "shortest"):
+        raise RouteError(f"unknown routing algorithm {algorithm!r}")
+    use_xy = algorithm == "xy"
+    if algorithm == "auto":
+        try:
+            mesh_coordinates(src)
+            mesh_coordinates(dst)
+            use_xy = True
+        except TopologyError:
+            use_xy = False
+    if use_xy:
+        sequence = router_sequence_xy(topology, src, dst)
+    else:
+        sequence = router_sequence_shortest(topology, src, dst)
+    return ports_from_router_sequence(port_map, sequence, final_local_port)
+
+
+def route_hop_count(route: Tuple[int, ...]) -> int:
+    """Number of routers a packet with this source route traverses."""
+    return len(route)
+
+
+def links_on_route(sequence: List[Hashable]) -> List[Tuple[Hashable, Hashable]]:
+    """Router-to-router links traversed by a router sequence."""
+    return list(zip(sequence, sequence[1:]))

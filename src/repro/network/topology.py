@@ -1,0 +1,174 @@
+"""NoC topologies and router port maps.
+
+The paper targets small NoCs (around 10 routers).  We provide mesh, ring and
+fully-custom topologies.  A :class:`Topology` is a graph of router nodes; a
+:class:`PortMap` assigns concrete port indices to each router: neighbour ports
+first (in a deterministic order), then local ports for the NIs attached to the
+router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies (unknown nodes, disconnected graphs)."""
+
+
+class Topology:
+    """An undirected graph of router nodes.
+
+    Node identifiers are arbitrary hashables; the mesh constructor uses
+    ``(row, column)`` tuples so XY routing can inspect coordinates.
+    """
+
+    def __init__(self, name: str = "noc") -> None:
+        self.name = name
+        self.graph = nx.Graph()
+
+    # -------------------------------------------------------------- building
+    def add_router(self, node: Hashable) -> None:
+        self.graph.add_node(node)
+
+    def connect(self, a: Hashable, b: Hashable) -> None:
+        if a == b:
+            raise TopologyError("cannot connect a router to itself")
+        self.graph.add_edge(a, b)
+
+    @property
+    def routers(self) -> List[Hashable]:
+        return sorted(self.graph.nodes, key=repr)
+
+    @property
+    def num_routers(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def neighbors(self, node: Hashable) -> List[Hashable]:
+        if node not in self.graph:
+            raise TopologyError(f"unknown router {node!r}")
+        return sorted(self.graph.neighbors(node), key=repr)
+
+    def degree(self, node: Hashable) -> int:
+        return len(self.neighbors(node))
+
+    def shortest_path(self, src: Hashable, dst: Hashable) -> List[Hashable]:
+        if src not in self.graph or dst not in self.graph:
+            raise TopologyError(f"unknown router in path {src!r} -> {dst!r}")
+        try:
+            return nx.shortest_path(self.graph, src, dst)
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(f"no path from {src!r} to {dst!r}") from exc
+
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self.graph)
+
+    def diameter(self) -> int:
+        if self.graph.number_of_nodes() <= 1:
+            return 0
+        return nx.diameter(self.graph)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def mesh(cls, rows: int, cols: int, name: str = "mesh") -> "Topology":
+        """A ``rows x cols`` 2D mesh with ``(row, col)`` node identifiers."""
+        if rows <= 0 or cols <= 0:
+            raise TopologyError("mesh dimensions must be positive")
+        topo = cls(name=f"{name}_{rows}x{cols}")
+        for r in range(rows):
+            for c in range(cols):
+                topo.add_router((r, c))
+        for r in range(rows):
+            for c in range(cols):
+                if r + 1 < rows:
+                    topo.connect((r, c), (r + 1, c))
+                if c + 1 < cols:
+                    topo.connect((r, c), (r, c + 1))
+        return topo
+
+    @classmethod
+    def ring(cls, num_routers: int, name: str = "ring") -> "Topology":
+        if num_routers <= 0:
+            raise TopologyError("ring size must be positive")
+        topo = cls(name=f"{name}_{num_routers}")
+        for i in range(num_routers):
+            topo.add_router(i)
+        if num_routers == 1:
+            return topo
+        for i in range(num_routers):
+            topo.connect(i, (i + 1) % num_routers)
+        return topo
+
+    @classmethod
+    def single_router(cls, name: str = "single") -> "Topology":
+        topo = cls(name=name)
+        topo.add_router(0)
+        return topo
+
+
+@dataclass
+class PortMap:
+    """Concrete port numbering for every router of a topology.
+
+    ``neighbor_ports[node][peer]`` is the output/input port index at ``node``
+    toward ``peer``; ``local_ports[node]`` is the list of port indices used by
+    locally attached NIs; ``num_ports[node]`` is the total port count.
+    """
+
+    neighbor_ports: Dict[Hashable, Dict[Hashable, int]] = field(default_factory=dict)
+    local_ports: Dict[Hashable, List[int]] = field(default_factory=dict)
+    num_ports: Dict[Hashable, int] = field(default_factory=dict)
+
+    def port_toward(self, node: Hashable, peer: Hashable) -> int:
+        try:
+            return self.neighbor_ports[node][peer]
+        except KeyError as exc:
+            raise TopologyError(
+                f"router {node!r} has no port toward {peer!r}") from exc
+
+    def local_port(self, node: Hashable, index: int) -> int:
+        ports = self.local_ports.get(node, [])
+        if index >= len(ports):
+            raise TopologyError(
+                f"router {node!r} has only {len(ports)} local ports, "
+                f"index {index} requested")
+        return ports[index]
+
+
+def build_port_map(topology: Topology,
+                   local_counts: Optional[Dict[Hashable, int]] = None) -> PortMap:
+    """Assign port indices: neighbour ports first (deterministic order), then
+    ``local_counts[node]`` local ports for NIs (default 1 per router)."""
+    local_counts = dict(local_counts or {})
+    port_map = PortMap()
+    for node in topology.routers:
+        neighbors = topology.neighbors(node)
+        mapping = {peer: idx for idx, peer in enumerate(neighbors)}
+        port_map.neighbor_ports[node] = mapping
+        n_local = local_counts.get(node, 1)
+        base = len(neighbors)
+        port_map.local_ports[node] = [base + i for i in range(n_local)]
+        port_map.num_ports[node] = base + n_local
+    return port_map
+
+
+def mesh_coordinates(node: Hashable) -> Tuple[int, int]:
+    """Interpret a mesh node id as (row, col); raises for other topologies."""
+    if (isinstance(node, tuple) and len(node) == 2
+            and all(isinstance(x, int) for x in node)):
+        return node  # type: ignore[return-value]
+    raise TopologyError(f"node {node!r} does not carry mesh coordinates")
+
+
+def attach_points(topology: Topology, ni_names: Iterable[str]) -> Dict[str, Hashable]:
+    """Spread NIs over routers round-robin (helper for quick experiment setup)."""
+    routers = topology.routers
+    mapping: Dict[str, Hashable] = {}
+    for index, name in enumerate(ni_names):
+        mapping[name] = routers[index % len(routers)]
+    return mapping

@@ -1,0 +1,149 @@
+"""Simplified AXI protocol adapter.
+
+AXI splits a transaction over five channels: write address (AW), write data
+(W), write response (B), read address (AR) and read data (R).  The paper's
+master/slave shells sequentialize exactly these signal groups into request and
+response messages (Section 2: "commands, and write data (corresponding to the
+address and write signal groups in AXI)").  This module models the five
+channel payloads and converts them to and from the generic transaction model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional
+
+from repro.protocol.transactions import (
+    Command,
+    ResponseError,
+    Transaction,
+    TransactionResponse,
+)
+
+
+class AxiResp(IntEnum):
+    """AXI response codes."""
+
+    OKAY = 0
+    EXOKAY = 1
+    SLVERR = 2
+    DECERR = 3
+
+
+@dataclass
+class AxiAW:
+    """Write-address channel beat."""
+
+    addr: int
+    length: int = 1          # burst length in beats
+    axi_id: int = 0
+
+
+@dataclass
+class AxiW:
+    """Write-data channel beat."""
+
+    data: int
+    strb: int = 0xF
+    last: bool = False
+
+
+@dataclass
+class AxiB:
+    """Write-response channel beat."""
+
+    resp: AxiResp = AxiResp.OKAY
+    axi_id: int = 0
+
+
+@dataclass
+class AxiAR:
+    """Read-address channel beat."""
+
+    addr: int
+    length: int = 1
+    axi_id: int = 0
+
+
+@dataclass
+class AxiR:
+    """Read-data channel beat."""
+
+    data: int
+    resp: AxiResp = AxiResp.OKAY
+    last: bool = False
+    axi_id: int = 0
+
+
+@dataclass
+class AxiWriteBurst:
+    """A complete AXI write: one AW beat plus its W beats."""
+
+    aw: AxiAW
+    w_beats: List[AxiW] = field(default_factory=list)
+
+
+def axi_write_to_transaction(burst: AxiWriteBurst) -> Transaction:
+    if not burst.w_beats:
+        raise ValueError("AXI write burst has no W beats")
+    if len(burst.w_beats) != burst.aw.length:
+        raise ValueError(
+            f"AW.length={burst.aw.length} does not match {len(burst.w_beats)} W beats")
+    if not burst.w_beats[-1].last:
+        raise ValueError("last W beat must assert WLAST")
+    data = [beat.data for beat in burst.w_beats]
+    return Transaction(command=Command.WRITE, address=burst.aw.addr,
+                       write_data=data)
+
+
+def axi_read_to_transaction(ar: AxiAR) -> Transaction:
+    return Transaction(command=Command.READ, address=ar.addr,
+                       read_length=ar.length)
+
+
+def _resp_from_error(error: ResponseError) -> AxiResp:
+    if error == ResponseError.OK:
+        return AxiResp.OKAY
+    if error == ResponseError.DECODE_ERROR:
+        return AxiResp.DECERR
+    return AxiResp.SLVERR
+
+
+def response_to_axi_b(response: TransactionResponse, axi_id: int = 0) -> AxiB:
+    return AxiB(resp=_resp_from_error(response.error), axi_id=axi_id)
+
+
+def response_to_axi_r(response: TransactionResponse,
+                      axi_id: int = 0) -> List[AxiR]:
+    beats = [AxiR(data=word, resp=_resp_from_error(response.error),
+                  last=False, axi_id=axi_id)
+             for word in response.read_data]
+    if beats:
+        beats[-1].last = True
+    return beats
+
+
+def axi_r_to_response(beats: List[AxiR]) -> TransactionResponse:
+    if not beats:
+        raise ValueError("empty AXI read response")
+    error = ResponseError.OK
+    if any(beat.resp != AxiResp.OKAY for beat in beats):
+        error = ResponseError.SLAVE_ERROR
+    return TransactionResponse(error=error, read_data=[b.data for b in beats])
+
+
+def axi_b_to_response(beat: AxiB) -> TransactionResponse:
+    error = ResponseError.OK if beat.resp == AxiResp.OKAY else ResponseError.SLAVE_ERROR
+    return TransactionResponse(error=error)
+
+
+def transaction_to_axi(transaction: Transaction):
+    """Reconstruct the AXI request beats a transaction corresponds to."""
+    if transaction.is_read:
+        return AxiAR(addr=transaction.address, length=transaction.read_length)
+    beats = [AxiW(data=word, last=False) for word in transaction.write_data]
+    if beats:
+        beats[-1].last = True
+    aw = AxiAW(addr=transaction.address, length=len(beats))
+    return AxiWriteBurst(aw=aw, w_beats=beats)

@@ -1,0 +1,110 @@
+"""Simplified Device Transaction Level (DTL) protocol adapter.
+
+DTL is the Philips on-chip bus protocol the prototype NI exposes (the paper
+implements "a simplified version of DTL").  A DTL master drives a command
+group (read/write, address, block size), a write-data group and consumes a
+read-data group; the slave side mirrors this.  The adapter converts between
+DTL signal-group objects and the generic :class:`~repro.protocol.transactions.Transaction`
+model used by the master/slave shells, which is exactly the sequentialization
+work the DTL shell of Figure 5/6 performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.protocol.transactions import (
+    Command,
+    ResponseError,
+    Transaction,
+    TransactionResponse,
+)
+
+
+class DTLCommandType(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class DTLCommand:
+    """The DTL command group: command, address and block size."""
+
+    command: DTLCommandType
+    address: int
+    block_size: int = 1
+    #: Posted writes do not require a write acknowledgement.
+    posted: bool = False
+
+
+@dataclass
+class DTLWriteData:
+    """The DTL write-data group: one burst of data words with write masks."""
+
+    data: List[int] = field(default_factory=list)
+    mask: Optional[List[int]] = None
+
+
+@dataclass
+class DTLReadData:
+    """The DTL read-data group returned to the master."""
+
+    data: List[int] = field(default_factory=list)
+    error: bool = False
+
+
+@dataclass
+class DTLWriteResponse:
+    """The DTL write acknowledgement."""
+
+    error: bool = False
+
+
+def dtl_to_transaction(command: DTLCommand,
+                       write_data: Optional[DTLWriteData] = None) -> Transaction:
+    """Convert a DTL command (+ write data) into a generic transaction."""
+    if command.command == DTLCommandType.READ:
+        return Transaction(command=Command.READ, address=command.address,
+                           read_length=command.block_size)
+    if write_data is None or not write_data.data:
+        raise ValueError("DTL write command requires write data")
+    if len(write_data.data) != command.block_size:
+        raise ValueError(
+            f"DTL block size {command.block_size} does not match "
+            f"{len(write_data.data)} write data words")
+    cmd = Command.WRITE_POSTED if command.posted else Command.WRITE
+    return Transaction(command=cmd, address=command.address,
+                       write_data=list(write_data.data))
+
+
+def transaction_to_dtl(transaction: Transaction) -> DTLCommand:
+    """Reconstruct the DTL command group a slave port would observe."""
+    if transaction.is_read:
+        return DTLCommand(command=DTLCommandType.READ,
+                          address=transaction.address,
+                          block_size=transaction.read_length)
+    return DTLCommand(command=DTLCommandType.WRITE,
+                      address=transaction.address,
+                      block_size=len(transaction.write_data),
+                      posted=transaction.command == Command.WRITE_POSTED)
+
+
+def response_to_dtl_read(response: TransactionResponse) -> DTLReadData:
+    return DTLReadData(data=list(response.read_data),
+                       error=not response.ok)
+
+
+def response_to_dtl_write(response: TransactionResponse) -> DTLWriteResponse:
+    return DTLWriteResponse(error=not response.ok)
+
+
+def dtl_read_to_response(read_data: DTLReadData) -> TransactionResponse:
+    error = ResponseError.SLAVE_ERROR if read_data.error else ResponseError.OK
+    return TransactionResponse(error=error, read_data=list(read_data.data))
+
+
+def dtl_write_to_response(write_response: DTLWriteResponse) -> TransactionResponse:
+    error = ResponseError.SLAVE_ERROR if write_response.error else ResponseError.OK
+    return TransactionResponse(error=error)

@@ -1,0 +1,200 @@
+"""Request and response message formats (Figure 7 of the paper).
+
+Messages are the unit the NI shells hand to the NI kernel: the master shell
+*sequentializes* a transaction's command, flags, address and write data into a
+request message; the slave shell *desequentializes* it, and responses travel
+the other way.  Sequentialization reduces the number of wires and simplifies
+arbitration (Section 2).
+
+Word layout (32-bit words):
+
+``RequestMessage``
+    word 0: ``cmd[31:28] | length[27:16] | flags[15:8] | trans_id[7:0]``
+    word 1: ``address``
+    words 2..: write data (``length`` words, only for write commands)
+
+``ResponseMessage``
+    word 0: ``cmd[31:28] | length[27:16] | error[15:8] | trans_id[7:0]``
+    words 1..: read data (``length`` words, only for read commands)
+
+The 8-bit ``trans_id`` doubles as the sequence number of Figure 7: it is
+assigned in issue order by the master shell and wraps modulo 256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.protocol.transactions import (
+    Command,
+    MAX_BURST_WORDS,
+    MAX_TRANS_ID,
+    ResponseError,
+    WRITE_COMMANDS,
+)
+
+#: Flag bits carried in the request header (Section 4.1 flush bit).
+FLAG_FLUSH = 0x01
+FLAG_POSTED = 0x02
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+class MessageError(ValueError):
+    """Raised when (de)serializing malformed messages."""
+
+
+def _check_word(value: int, name: str) -> int:
+    if not 0 <= value <= _WORD_MASK:
+        raise MessageError(f"{name} 0x{value:x} does not fit in a 32-bit word")
+    return value
+
+
+@dataclass
+class RequestMessage:
+    """A sequentialized request (master -> slave)."""
+
+    command: Command
+    address: int
+    write_data: List[int] = field(default_factory=list)
+    read_length: int = 0
+    flags: int = 0
+    trans_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.address = _check_word(self.address, "address")
+        self.write_data = [_check_word(w, "write data") for w in self.write_data]
+        if not 0 <= self.trans_id <= MAX_TRANS_ID:
+            raise MessageError(f"trans_id {self.trans_id} exceeds 8 bits")
+        if not 0 <= self.flags <= 0xFF:
+            raise MessageError(f"flags 0x{self.flags:x} exceed 8 bits")
+        if self.length > MAX_BURST_WORDS:
+            raise MessageError(f"burst length {self.length} exceeds 12 bits")
+
+    @property
+    def length(self) -> int:
+        """Burst length carried in the header."""
+        if self.command in WRITE_COMMANDS:
+            return len(self.write_data)
+        return self.read_length
+
+    @property
+    def expects_response(self) -> bool:
+        return self.command in (Command.READ, Command.WRITE,
+                                Command.READ_LINKED, Command.WRITE_CONDITIONAL)
+
+    @property
+    def response_length(self) -> int:
+        """Number of data words the matching response will carry."""
+        if self.command in (Command.READ, Command.READ_LINKED):
+            return self.length
+        return 0
+
+    @property
+    def num_words(self) -> int:
+        """Sequentialized size: header + address + write data."""
+        return 2 + (len(self.write_data) if self.command in WRITE_COMMANDS else 0)
+
+    def to_words(self) -> List[int]:
+        header = ((int(self.command) & 0xF) << 28
+                  | (self.length & 0xFFF) << 16
+                  | (self.flags & 0xFF) << 8
+                  | (self.trans_id & 0xFF))
+        words = [header, self.address]
+        if self.command in WRITE_COMMANDS:
+            words.extend(self.write_data)
+        return words
+
+    @staticmethod
+    def words_expected(header_word: int) -> int:
+        """Total message length implied by the first word."""
+        command = Command((header_word >> 28) & 0xF)
+        length = (header_word >> 16) & 0xFFF
+        if command in WRITE_COMMANDS:
+            return 2 + length
+        return 2
+
+
+@dataclass
+class ResponseMessage:
+    """A sequentialized response (slave -> master)."""
+
+    command: Command
+    error: ResponseError = ResponseError.OK
+    read_data: List[int] = field(default_factory=list)
+    trans_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.read_data = [_check_word(w, "read data") for w in self.read_data]
+        if not 0 <= self.trans_id <= MAX_TRANS_ID:
+            raise MessageError(f"trans_id {self.trans_id} exceeds 8 bits")
+        if len(self.read_data) > MAX_BURST_WORDS:
+            raise MessageError("read burst exceeds 12-bit length field")
+
+    @property
+    def length(self) -> int:
+        return len(self.read_data)
+
+    @property
+    def num_words(self) -> int:
+        return 1 + len(self.read_data)
+
+    @property
+    def ok(self) -> bool:
+        return self.error == ResponseError.OK
+
+    def to_words(self) -> List[int]:
+        header = ((int(self.command) & 0xF) << 28
+                  | (self.length & 0xFFF) << 16
+                  | (int(self.error) & 0xFF) << 8
+                  | (self.trans_id & 0xFF))
+        return [header] + list(self.read_data)
+
+    @staticmethod
+    def words_expected(header_word: int) -> int:
+        length = (header_word >> 16) & 0xFFF
+        return 1 + length
+
+
+Message = Union[RequestMessage, ResponseMessage]
+
+
+def request_from_words(words: Sequence[int]) -> RequestMessage:
+    """Desequentialize a request message (slave shell direction)."""
+    if len(words) < 2:
+        raise MessageError("request message needs at least header and address")
+    header = words[0]
+    command = Command((header >> 28) & 0xF)
+    length = (header >> 16) & 0xFFF
+    flags = (header >> 8) & 0xFF
+    trans_id = header & 0xFF
+    address = words[1]
+    if command in WRITE_COMMANDS:
+        data = list(words[2:])
+        if len(data) != length:
+            raise MessageError(
+                f"write request declares {length} data words, got {len(data)}")
+        return RequestMessage(command=command, address=address, write_data=data,
+                              flags=flags, trans_id=trans_id)
+    if len(words) != 2:
+        raise MessageError(f"{command.name} request must be exactly 2 words")
+    return RequestMessage(command=command, address=address, read_length=length,
+                          flags=flags, trans_id=trans_id)
+
+
+def response_from_words(words: Sequence[int]) -> ResponseMessage:
+    """Desequentialize a response message (master shell direction)."""
+    if not words:
+        raise MessageError("empty response message")
+    header = words[0]
+    command = Command((header >> 28) & 0xF)
+    length = (header >> 16) & 0xFFF
+    error = ResponseError((header >> 8) & 0xFF)
+    trans_id = header & 0xFF
+    data = list(words[1:])
+    if len(data) != length:
+        raise MessageError(
+            f"response declares {length} data words, got {len(data)}")
+    return ResponseMessage(command=command, error=error, read_data=data,
+                           trans_id=trans_id)

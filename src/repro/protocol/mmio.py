@@ -1,0 +1,74 @@
+"""DTL-MMIO: memory-mapped IO transactions used for NoC configuration.
+
+The NIs are configured through configuration ports (CNIP) which offer "a
+memory-mapped view on all control registers in the NIs", accessed with normal
+read and write transactions (Section 4.3).  This module provides helpers to
+build those transactions and a generic register-file abstraction the CNIP
+slave executes them against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.protocol.transactions import (
+    Command,
+    ResponseError,
+    Transaction,
+    TransactionResponse,
+)
+
+
+def mmio_write(address: int, value: int, acknowledged: bool = True) -> Transaction:
+    """A single-word memory-mapped register write.
+
+    ``acknowledged=False`` produces a posted write, used for all but the last
+    write of a configuration sequence; the final write requests an
+    acknowledgement "to confirm that the channel has been successfully set up"
+    (Section 4.3).
+    """
+    return Transaction.write(address, [value], posted=not acknowledged)
+
+
+def mmio_read(address: int) -> Transaction:
+    """A single-word memory-mapped register read."""
+    return Transaction.read(address, length=1)
+
+
+class MMIORegisterFile:
+    """A register file addressed word-by-word.
+
+    Reads and writes can be backed either by a plain dictionary or by
+    callbacks (the NI kernel register file uses callbacks so that register
+    writes take effect on channel state immediately).
+    """
+
+    def __init__(self,
+                 read_handler: Optional[Callable[[int], int]] = None,
+                 write_handler: Optional[Callable[[int, int], None]] = None) -> None:
+        self._registers: Dict[int, int] = {}
+        self._read_handler = read_handler
+        self._write_handler = write_handler
+
+    def read(self, address: int) -> int:
+        if self._read_handler is not None:
+            return self._read_handler(address)
+        return self._registers.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        if self._write_handler is not None:
+            self._write_handler(address, value)
+            return
+        self._registers[address] = value & 0xFFFFFFFF
+
+    def execute(self, transaction: Transaction) -> TransactionResponse:
+        """Execute an MMIO transaction against this register file."""
+        if transaction.is_read:
+            data = [self.read(transaction.address + offset)
+                    for offset in range(transaction.read_length)]
+            return TransactionResponse(error=ResponseError.OK, read_data=data)
+        if transaction.command in (Command.WRITE, Command.WRITE_POSTED):
+            for offset, word in enumerate(transaction.write_data):
+                self.write(transaction.address + offset, word)
+            return TransactionResponse(error=ResponseError.OK)
+        return TransactionResponse(error=ResponseError.DECODE_ERROR)

@@ -1,0 +1,127 @@
+"""Clock domains for the cycle model.
+
+Every NI port may run at its own frequency (Section 4.1 of the paper: the
+hardware FIFOs implement the clock-domain crossing).  A :class:`Clock` fires a
+rising edge every ``period_ps`` picoseconds and calls ``tick(cycle)`` on each
+registered :class:`ClockedComponent`, then ``post_tick(cycle)`` on every
+component that implements it.  The two-phase tick keeps same-edge evaluation
+order-insensitive: components read state and compute in ``tick`` and commit
+externally visible updates in ``post_tick``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+#: Priority used for tick callbacks; post_tick runs at a later priority on the
+#: same timestamp so all ticks of a timestamp complete before any commit.
+_TICK_PRIORITY = 0
+_POST_TICK_PRIORITY = 10
+
+
+class ClockedComponent:
+    """Base class for anything driven by a :class:`Clock`.
+
+    Subclasses override :meth:`tick` (compute phase) and optionally
+    :meth:`post_tick` (commit phase).
+    """
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - interface default
+        """Compute phase of the clock edge."""
+
+    def post_tick(self, cycle: int) -> None:  # pragma: no cover - default
+        """Commit phase of the clock edge."""
+
+
+class Clock:
+    """A periodic clock that drives registered components.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the event queue.
+    frequency_mhz:
+        Clock frequency.  The period is rounded to an integer number of
+        picoseconds (500 MHz -> 2000 ps, as used by the Aethereal router).
+    name:
+        Human-readable name used in traces and error messages.
+    phase_ps:
+        Offset of the first rising edge.
+    """
+
+    def __init__(self, sim: Simulator, frequency_mhz: float, name: str = "clk",
+                 phase_ps: int = 0) -> None:
+        if frequency_mhz <= 0:
+            raise SimulationError(f"clock {name}: frequency must be positive")
+        self.sim = sim
+        self.name = name
+        self.frequency_mhz = float(frequency_mhz)
+        self.period_ps = int(round(1e6 / frequency_mhz))
+        if self.period_ps <= 0:
+            raise SimulationError(f"clock {name}: period rounds to 0 ps")
+        self.phase_ps = int(phase_ps)
+        self._cycle = -1
+        self._components: List[ClockedComponent] = []
+        self._started = False
+
+    # ---------------------------------------------------------------- wiring
+    def add_component(self, component: ClockedComponent) -> None:
+        """Register a component; tick order follows registration order."""
+        self._components.append(component)
+
+    def remove_component(self, component: ClockedComponent) -> None:
+        self._components.remove(component)
+
+    @property
+    def cycle(self) -> int:
+        """Index of the most recent rising edge (-1 before the first edge)."""
+        return self._cycle
+
+    @property
+    def bandwidth_gbit_s(self) -> float:
+        """Raw bandwidth of a 32-bit link clocked by this clock, in Gbit/s."""
+        return 32.0 * self.frequency_mhz / 1000.0
+
+    def cycles_to_ps(self, cycles: int) -> int:
+        return cycles * self.period_ps
+
+    def ps_to_cycles(self, ps: int) -> int:
+        return ps // self.period_ps
+
+    # --------------------------------------------------------------- running
+    def start(self) -> None:
+        """Schedule the first rising edge.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        first = max(self.sim.now, self.phase_ps)
+        self.sim.schedule_at(first, self._edge, priority=_TICK_PRIORITY)
+
+    def _edge(self) -> None:
+        self._cycle += 1
+        cycle = self._cycle
+        for component in list(self._components):
+            component.tick(cycle)
+        self.sim.schedule_at(self.sim.now, self._commit_edge,
+                             priority=_POST_TICK_PRIORITY)
+        self.sim.schedule(self.period_ps, self._edge, priority=_TICK_PRIORITY)
+
+    def _commit_edge(self) -> None:
+        cycle = self._cycle
+        for component in list(self._components):
+            component.post_tick(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Clock({self.name}, {self.frequency_mhz} MHz)"
+
+
+def run_cycles(sim: Simulator, clock: Clock, cycles: int) -> None:
+    """Convenience: run the simulator for ``cycles`` edges of ``clock``."""
+    clock.start()
+    target_cycle = clock.cycle + cycles
+    end_time: Optional[int] = sim.now + cycles * clock.period_ps
+    sim.run(until=end_time)
+    # The final edge may land exactly at end_time; nothing further needed.
+    del target_cycle

@@ -1,0 +1,134 @@
+"""Core discrete-event simulator.
+
+The simulator keeps a heap of :class:`Event` objects ordered by
+``(time, priority, sequence)``.  Determinism matters a great deal for a cycle
+model of hardware: two events scheduled for the same picosecond execute in
+priority order, and events with equal priority execute in the order they were
+scheduled.  Clocks (see :mod:`repro.sim.clock`) are built on top of this by
+rescheduling themselves every period.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal simulation problems (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so the heap pops them in
+    deterministic order.  ``callback`` is excluded from the comparison.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Time-ordered event queue with integer picosecond timestamps."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[Event] = []
+        self._running: bool = False
+        self._executed_events: int = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of callbacks executed so far (for budget checks in tests)."""
+        return self._executed_events
+
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled events included)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule_at(self, time: int, callback: Callable[[], None],
+                    priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute ``time`` picoseconds.
+
+        Scheduling strictly in the past raises :class:`SimulationError`;
+        scheduling at the current time is allowed (zero-delay event).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} ps; now is {self._now} ps")
+        event = Event(time=time, priority=priority, seq=self._seq,
+                      callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 priority: int = 0) -> Event:
+        """Schedule ``callback`` ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._executed_events += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` ps, or ``max_events``.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` execute.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    return
+                nxt = self._peek_time()
+                if until is not None and nxt is not None and nxt > until:
+                    self._now = until
+                    return
+                if not self.step():
+                    return
+                executed += 1
+        finally:
+            self._running = False
+
+    def run_for(self, duration: int) -> None:
+        """Run for ``duration`` picoseconds from the current time."""
+        self.run(until=self._now + duration)
+
+    def _peek_time(self) -> Optional[int]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time

@@ -1,0 +1,75 @@
+"""Lightweight tracing of simulation activity.
+
+Traces are optional: components accept a tracer and emit :class:`TraceEvent`
+records (packet injected, flit forwarded, register written, ...).  Tests use
+traces to check cycle-accurate behaviour; examples print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One trace record."""
+
+    time_ps: int
+    source: str
+    kind: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail_str = " ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"[{self.time_ps:>10} ps] {self.source:<20} {self.kind:<18} {detail_str}"
+
+
+class Tracer:
+    """Collects trace events, optionally filtered by kind or source."""
+
+    def __init__(self, enabled: bool = True,
+                 kinds: Optional[Iterable[str]] = None,
+                 max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.kinds = set(kinds) if kinds is not None else None
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def record(self, time_ps: int, source: str, kind: str,
+               **details: object) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        event = TraceEvent(time_ps=time_ps, source=source, kind=kind,
+                           details=dict(details))
+        self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def filter(self, kind: Optional[str] = None,
+               source: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if source is not None:
+            out = [e for e in out if e.source == source]
+        return list(out)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)
+
+
+#: A tracer that drops everything; used as the default to avoid None checks.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,151 @@
+"""Unit tests for the analytic guarantees and their verification helpers."""
+
+import pytest
+
+from repro.analysis.guarantees import (
+    GTGuarantees,
+    GuaranteeError,
+    jitter_bound_slots,
+    latency_bound_flit_cycles,
+    slot_waiting_bound,
+    throughput_bound_gbit_s,
+    throughput_bound_words_per_flit_cycle,
+)
+from repro.analysis.verification import (
+    GuaranteeCheck,
+    VerificationReport,
+    measured_throughput_gbit_s,
+    verify_latency,
+    verify_throughput,
+)
+
+
+class TestThroughputBound:
+    def test_scales_linearly_with_reserved_slots(self):
+        one = throughput_bound_words_per_flit_cycle(1, 8)
+        four = throughput_bound_words_per_flit_cycle(4, 8)
+        assert four == pytest.approx(4 * one)
+
+    def test_payload_only_subtracts_header(self):
+        raw = throughput_bound_words_per_flit_cycle(2, 8, payload_only=False)
+        payload = throughput_bound_words_per_flit_cycle(2, 8, payload_only=True)
+        assert raw == pytest.approx(2 * 3 / 8)
+        assert payload == pytest.approx(2 * 2 / 8)
+
+    def test_full_reservation_equals_link_capacity(self):
+        assert throughput_bound_words_per_flit_cycle(8, 8, payload_only=False) \
+            == pytest.approx(3.0)
+
+    def test_gbit_conversion(self):
+        # All 8 slots, raw 3 words per 6 ns flit cycle = 16 Gbit/s; with the
+        # one-word header per flit, 2/3 of that.
+        assert throughput_bound_gbit_s(8, 8) == pytest.approx(16.0 * 2 / 3)
+
+    def test_invalid_reservation_rejected(self):
+        with pytest.raises(GuaranteeError):
+            throughput_bound_words_per_flit_cycle(0, 8)
+        with pytest.raises(GuaranteeError):
+            throughput_bound_words_per_flit_cycle(9, 8)
+
+
+class TestLatencyJitterBounds:
+    def test_waiting_bound_single_slot(self):
+        assert slot_waiting_bound([0], 8) == 7
+
+    def test_waiting_bound_evenly_spread(self):
+        assert slot_waiting_bound([0, 4], 8) == 3
+
+    def test_waiting_bound_all_slots(self):
+        assert slot_waiting_bound(list(range(8)), 8) == 0
+
+    def test_jitter_bound(self):
+        assert jitter_bound_slots([0], 8) == 8
+        assert jitter_bound_slots([0, 4], 8) == 4
+        assert jitter_bound_slots([0, 1], 8) == 7
+
+    def test_latency_bound_includes_wait_hops_and_packet_length(self):
+        assert latency_bound_flit_cycles([0], 8, hops=2) == 7 + 1 + 2
+        assert latency_bound_flit_cycles([0], 8, hops=2, packet_flits=3) \
+            == 7 + 1 + 2 + 2
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(GuaranteeError):
+            slot_waiting_bound([], 8)
+        with pytest.raises(GuaranteeError):
+            slot_waiting_bound([9], 8)
+        with pytest.raises(GuaranteeError):
+            latency_bound_flit_cycles([0], 8, hops=-1)
+
+
+class TestGTGuaranteesBundle:
+    def test_summary_fields(self):
+        guarantees = GTGuarantees(slot_pattern=[0, 4], num_slots=8, hops=2)
+        summary = guarantees.summary()
+        assert summary["slots"] == 2
+        assert summary["latency_bound_flit_cycles"] == guarantees.latency_bound
+        assert summary["jitter_bound_slots"] == 4
+        assert guarantees.throughput_gbit_s > 0
+
+    def test_duplicate_slots_deduplicated(self):
+        guarantees = GTGuarantees(slot_pattern=[0, 0, 4], num_slots=8, hops=1)
+        assert guarantees.slots_reserved == 2
+
+
+class TestVerification:
+    def make_guarantees(self):
+        return GTGuarantees(slot_pattern=[0, 4], num_slots=8, hops=2)
+
+    def test_throughput_check_passes_when_above_bound(self):
+        guarantees = self.make_guarantees()
+        bound = guarantees.throughput_words_per_flit_cycle
+        check = verify_throughput(guarantees,
+                                  words_delivered=int(bound * 100) + 5,
+                                  window_flit_cycles=100)
+        assert check.satisfied
+        assert check.kind == "lower"
+
+    def test_throughput_check_fails_when_below_bound(self):
+        guarantees = self.make_guarantees()
+        check = verify_throughput(guarantees, words_delivered=1,
+                                  window_flit_cycles=100)
+        assert not check.satisfied
+
+    def test_warmup_slack_forgives_pipeline_fill(self):
+        guarantees = self.make_guarantees()
+        bound = guarantees.throughput_words_per_flit_cycle
+        words = int(bound * 100) - 2
+        strict = verify_throughput(guarantees, words, 100)
+        lenient = verify_throughput(guarantees, words, 100,
+                                    warmup_slack_words=10)
+        assert not strict.satisfied and lenient.satisfied
+
+    def test_latency_report(self):
+        guarantees = self.make_guarantees()
+        bound = guarantees.latency_bound
+        report = verify_latency(guarantees, [bound - 1, bound, 2])
+        assert report.all_satisfied
+        bad = verify_latency(guarantees, [bound + 50])
+        assert not bad.all_satisfied
+        assert len(bad.failures()) >= 1
+
+    def test_empty_latency_report(self):
+        report = verify_latency(self.make_guarantees(), [])
+        assert report.all_satisfied and report.checks == []
+
+    def test_check_kinds(self):
+        upper = GuaranteeCheck("x", bound=10, measured=12, kind="upper")
+        lower = GuaranteeCheck("x", bound=10, measured=12, kind="lower")
+        assert not upper.satisfied and lower.satisfied
+        with pytest.raises(ValueError):
+            GuaranteeCheck("x", 1, 1, kind="sideways").satisfied
+
+    def test_report_rows(self):
+        report = VerificationReport()
+        report.add(GuaranteeCheck("a", 1, 0.5, kind="upper"))
+        assert report.rows()[0]["ok"] is True
+
+    def test_measured_throughput_conversion(self):
+        # One word per flit cycle = 32 bits / 6 ns = 5.33 Gbit/s.
+        assert measured_throughput_gbit_s(100, 100) == pytest.approx(32 / 6.0)
+        with pytest.raises(ValueError):
+            measured_throughput_gbit_s(1, 0)

@@ -1,0 +1,114 @@
+"""Unit tests for the software-stack and shared-bus baselines."""
+
+import math
+
+import pytest
+
+from repro.baselines.bus import SharedBus, SharedBusMaster
+from repro.baselines.software_stack import SoftwareStackModel
+from repro.design.timing import SOFTWARE_PACKETIZATION_INSTRUCTIONS
+
+
+class TestSoftwareStackModel:
+    def test_default_uses_47_instructions(self):
+        model = SoftwareStackModel()
+        assert model.cycles_per_message == SOFTWARE_PACKETIZATION_INSTRUCTIONS
+
+    def test_latency_in_ns(self):
+        model = SoftwareStackModel(core_frequency_mhz=500.0)
+        assert model.latency_ns == pytest.approx(47 * 2.0)
+
+    def test_cpi_scales_latency(self):
+        base = SoftwareStackModel()
+        slow = SoftwareStackModel(cycles_per_instruction=1.5)
+        assert slow.cycles_per_message == pytest.approx(1.5 * base.cycles_per_message)
+
+    def test_other_instructions_add_to_cost(self):
+        model = SoftwareStackModel(other_instructions=53)
+        assert model.instructions_per_message == 100
+
+    def test_message_rate_ceiling(self):
+        model = SoftwareStackModel(core_frequency_mhz=500.0)
+        assert model.max_messages_per_second == pytest.approx(500e6 / 47)
+
+    def test_payload_bandwidth_ceiling(self):
+        model = SoftwareStackModel(core_frequency_mhz=500.0)
+        gbps = model.max_payload_gbit_s(words_per_message=8)
+        assert gbps == pytest.approx(500e6 / 47 * 8 * 32 / 1e9)
+        with pytest.raises(ValueError):
+            model.max_payload_gbit_s(0)
+
+    def test_comparison_with_hardware_shows_large_ratio(self):
+        """The paper's point: 47 instructions versus 4-10 cycles."""
+        model = SoftwareStackModel()
+        comparison = model.compare_with_hardware(hardware_cycles=10)
+        assert comparison["cycle_ratio"] >= 4.7
+        comparison = model.compare_with_hardware(hardware_cycles=4)
+        assert comparison["cycle_ratio"] >= 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftwareStackModel(packetization_instructions=0)
+        with pytest.raises(ValueError):
+            SoftwareStackModel(cycles_per_instruction=0)
+        with pytest.raises(ValueError):
+            SoftwareStackModel(core_frequency_mhz=0)
+
+
+class TestSharedBus:
+    def test_single_master_latency_is_service_time(self):
+        bus = SharedBus([SharedBusMaster("m0", period_cycles=100, burst_words=4,
+                                         slave_latency=2)])
+        result = bus.simulate(1000)
+        # command (1) + 4 data + 2 slave latency = 7 cycles.
+        assert result.mean_latency == pytest.approx(7.0)
+        assert result.max_latency == 7
+
+    def test_latency_grows_with_contention(self):
+        light = SharedBus.uniform(2, period_cycles=64, burst_words=8)
+        heavy = SharedBus.uniform(8, period_cycles=64, burst_words=8)
+        light_result = light.simulate(4000)
+        heavy_result = heavy.simulate(4000)
+        assert heavy_result.mean_latency > light_result.mean_latency
+        assert heavy_result.bus_utilization > light_result.bus_utilization
+
+    def test_utilization_saturates_at_one(self):
+        bus = SharedBus.uniform(16, period_cycles=8, burst_words=8)
+        result = bus.simulate(2000)
+        assert result.bus_utilization <= 1.0
+        assert result.bus_utilization > 0.9
+
+    def test_aggregate_throughput_bounded_by_bus_capacity(self):
+        bus = SharedBus.uniform(8, period_cycles=16, burst_words=8)
+        cycles = 4000
+        result = bus.simulate(cycles)
+        assert result.words_transferred <= cycles
+
+    def test_tdma_gives_each_master_its_share(self):
+        bus = SharedBus.uniform(2, period_cycles=32, burst_words=4,
+                                arbitration="tdma")
+        result = bus.simulate(2000)
+        assert result.transactions_completed > 0
+        assert set(result.per_master_latency) == {"m0", "m1"}
+        assert not any(math.isnan(v) for v in result.per_master_latency.values())
+
+    def test_round_robin_fairness(self):
+        bus = SharedBus.uniform(4, period_cycles=32, burst_words=4)
+        result = bus.simulate(4000)
+        latencies = list(result.per_master_latency.values())
+        assert max(latencies) < 4 * min(latencies)
+
+    def test_result_row(self):
+        row = SharedBus.uniform(2).simulate(500).as_row()
+        assert row["masters"] == 2
+        assert "mean_latency" in row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedBus([])
+        with pytest.raises(ValueError):
+            SharedBus.uniform(2, arbitration="priority")
+        with pytest.raises(ValueError):
+            SharedBusMaster("m", period_cycles=0, burst_words=1)
+        with pytest.raises(ValueError):
+            SharedBus.uniform(1).simulate(0)

@@ -1,0 +1,187 @@
+"""Unit tests for the DTL, AXI and DTL-MMIO protocol adapters."""
+
+import pytest
+
+from repro.protocol.axi import (
+    AxiAR,
+    AxiAW,
+    AxiB,
+    AxiR,
+    AxiResp,
+    AxiW,
+    AxiWriteBurst,
+    axi_b_to_response,
+    axi_r_to_response,
+    axi_read_to_transaction,
+    axi_write_to_transaction,
+    response_to_axi_b,
+    response_to_axi_r,
+    transaction_to_axi,
+)
+from repro.protocol.dtl import (
+    DTLCommand,
+    DTLCommandType,
+    DTLReadData,
+    DTLWriteData,
+    DTLWriteResponse,
+    dtl_read_to_response,
+    dtl_to_transaction,
+    dtl_write_to_response,
+    response_to_dtl_read,
+    response_to_dtl_write,
+    transaction_to_dtl,
+)
+from repro.protocol.mmio import MMIORegisterFile, mmio_read, mmio_write
+from repro.protocol.transactions import (
+    Command,
+    ResponseError,
+    Transaction,
+    TransactionResponse,
+)
+
+
+class TestDTL:
+    def test_read_command_converts_to_read_transaction(self):
+        txn = dtl_to_transaction(DTLCommand(DTLCommandType.READ, 0x80, 4))
+        assert txn.command == Command.READ
+        assert txn.address == 0x80
+        assert txn.read_length == 4
+
+    def test_write_command_converts_to_write_transaction(self):
+        txn = dtl_to_transaction(DTLCommand(DTLCommandType.WRITE, 0x10, 2),
+                                 DTLWriteData([5, 6]))
+        assert txn.command == Command.WRITE
+        assert txn.write_data == [5, 6]
+
+    def test_posted_write(self):
+        txn = dtl_to_transaction(
+            DTLCommand(DTLCommandType.WRITE, 0x10, 1, posted=True),
+            DTLWriteData([5]))
+        assert txn.command == Command.WRITE_POSTED
+
+    def test_write_without_data_rejected(self):
+        with pytest.raises(ValueError):
+            dtl_to_transaction(DTLCommand(DTLCommandType.WRITE, 0x10, 1))
+
+    def test_block_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dtl_to_transaction(DTLCommand(DTLCommandType.WRITE, 0, 3),
+                               DTLWriteData([1]))
+
+    def test_transaction_back_to_dtl(self):
+        cmd = transaction_to_dtl(Transaction.read(0x44, 8))
+        assert cmd.command == DTLCommandType.READ
+        assert cmd.block_size == 8
+        cmd = transaction_to_dtl(Transaction.write(0x44, [1, 2], posted=True))
+        assert cmd.command == DTLCommandType.WRITE
+        assert cmd.posted
+
+    def test_response_conversions(self):
+        ok = TransactionResponse(read_data=[1, 2])
+        assert response_to_dtl_read(ok).data == [1, 2]
+        assert not response_to_dtl_read(ok).error
+        bad = TransactionResponse(error=ResponseError.SLAVE_ERROR)
+        assert response_to_dtl_write(bad).error
+        assert dtl_read_to_response(DTLReadData([3], error=False)).ok
+        assert not dtl_write_to_response(DTLWriteResponse(error=True)).ok
+
+
+class TestAXI:
+    def test_write_burst_to_transaction(self):
+        burst = AxiWriteBurst(
+            aw=AxiAW(addr=0x100, length=3),
+            w_beats=[AxiW(1), AxiW(2), AxiW(3, last=True)])
+        txn = axi_write_to_transaction(burst)
+        assert txn.command == Command.WRITE
+        assert txn.write_data == [1, 2, 3]
+
+    def test_write_burst_validation(self):
+        with pytest.raises(ValueError):
+            axi_write_to_transaction(AxiWriteBurst(aw=AxiAW(0, 1), w_beats=[]))
+        with pytest.raises(ValueError):
+            axi_write_to_transaction(AxiWriteBurst(
+                aw=AxiAW(0, 2), w_beats=[AxiW(1), AxiW(2, last=False)]))
+        with pytest.raises(ValueError):
+            axi_write_to_transaction(AxiWriteBurst(
+                aw=AxiAW(0, 1), w_beats=[AxiW(1), AxiW(2, last=True)]))
+
+    def test_read_to_transaction(self):
+        txn = axi_read_to_transaction(AxiAR(addr=0x40, length=4))
+        assert txn.command == Command.READ
+        assert txn.read_length == 4
+
+    def test_response_to_r_beats_sets_last(self):
+        beats = response_to_axi_r(TransactionResponse(read_data=[1, 2, 3]))
+        assert [b.data for b in beats] == [1, 2, 3]
+        assert [b.last for b in beats] == [False, False, True]
+
+    def test_error_mapping(self):
+        beats = response_to_axi_r(
+            TransactionResponse(error=ResponseError.SLAVE_ERROR, read_data=[1]))
+        assert beats[0].resp == AxiResp.SLVERR
+        b = response_to_axi_b(TransactionResponse(error=ResponseError.DECODE_ERROR))
+        assert b.resp == AxiResp.DECERR
+
+    def test_r_beats_back_to_response(self):
+        response = axi_r_to_response([AxiR(1), AxiR(2, last=True)])
+        assert response.read_data == [1, 2]
+        assert response.ok
+        with pytest.raises(ValueError):
+            axi_r_to_response([])
+
+    def test_b_beat_back_to_response(self):
+        assert axi_b_to_response(AxiB()).ok
+        assert not axi_b_to_response(AxiB(resp=AxiResp.SLVERR)).ok
+
+    def test_transaction_to_axi(self):
+        ar = transaction_to_axi(Transaction.read(0x10, 2))
+        assert isinstance(ar, AxiAR)
+        burst = transaction_to_axi(Transaction.write(0x10, [1, 2]))
+        assert isinstance(burst, AxiWriteBurst)
+        assert burst.w_beats[-1].last
+
+
+class TestMMIO:
+    def test_mmio_write_acknowledged_and_posted(self):
+        acked = mmio_write(0x4, 7)
+        assert acked.command == Command.WRITE
+        posted = mmio_write(0x4, 7, acknowledged=False)
+        assert posted.command == Command.WRITE_POSTED
+
+    def test_mmio_read(self):
+        txn = mmio_read(0x8)
+        assert txn.command == Command.READ
+        assert txn.read_length == 1
+
+    def test_register_file_dict_backend(self):
+        regs = MMIORegisterFile()
+        regs.write(4, 99)
+        assert regs.read(4) == 99
+        assert regs.read(8) == 0
+
+    def test_register_file_callback_backend(self):
+        store = {}
+        regs = MMIORegisterFile(read_handler=lambda a: store.get(a, 0xAA),
+                                write_handler=lambda a, v: store.__setitem__(a, v))
+        regs.write(0, 5)
+        assert store[0] == 5
+        assert regs.read(1) == 0xAA
+
+    def test_execute_write_and_read_transactions(self):
+        regs = MMIORegisterFile()
+        response = regs.execute(mmio_write(0x10, 3))
+        assert response.ok
+        response = regs.execute(Transaction.read(0x10, 1))
+        assert response.read_data == [3]
+
+    def test_execute_burst(self):
+        regs = MMIORegisterFile()
+        regs.execute(Transaction.write(0x20, [1, 2, 3]))
+        response = regs.execute(Transaction.read(0x20, 3))
+        assert response.read_data == [1, 2, 3]
+
+    def test_unsupported_command_reports_decode_error(self):
+        regs = MMIORegisterFile()
+        bad = Transaction(command=Command.WRITE_CONDITIONAL, address=0,
+                          write_data=[1])
+        assert regs.execute(bad).error == ResponseError.DECODE_ERROR

@@ -1,0 +1,133 @@
+"""Unit tests for the NI channel (queues + flow-control counters)."""
+
+import pytest
+
+from repro.core.channel import Channel, FlowControlError
+
+
+def make_channel(**kwargs):
+    return Channel(index=0, name="ch0", **kwargs)
+
+
+class TestFlowControlCounters:
+    def test_sendable_is_min_of_fill_and_space(self):
+        channel = make_channel()
+        channel.source_queue.push_many([1, 2, 3, 4])
+        channel.space = 2
+        assert channel.sendable == 2
+        channel.space = 10
+        assert channel.sendable == 4
+
+    def test_add_and_consume_space(self):
+        channel = make_channel()
+        channel.add_space(5)
+        channel.consume_space(3)
+        assert channel.space == 2
+
+    def test_consuming_more_space_than_available_raises(self):
+        channel = make_channel()
+        channel.add_space(1)
+        with pytest.raises(FlowControlError):
+            channel.consume_space(2)
+
+    def test_negative_credit_rejected(self):
+        with pytest.raises(FlowControlError):
+            make_channel().add_space(-1)
+
+    def test_credit_accumulation_and_harvest(self):
+        channel = make_channel()
+        channel.add_credit(3)
+        channel.add_credit(2)
+        assert channel.take_credits(4) == 4
+        assert channel.credit == 1
+        assert channel.take_credits(10) == 1
+        assert channel.credit == 0
+
+
+class TestFlush:
+    def test_flush_bypasses_threshold_until_snapshot_sent(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.regs.data_threshold = 8
+        channel.space = 100
+        channel.source_queue.push_many([1, 2])
+        assert not channel.eligible()          # below the threshold
+        channel.request_flush()
+        assert channel.flush_pending
+        assert channel.eligible()
+        channel.note_words_sent(2)             # the snapshot has drained
+        assert not channel.flush_pending
+
+    def test_flush_with_partial_draining(self):
+        channel = make_channel()
+        channel.source_queue.push_many([1, 2, 3])
+        channel.request_flush()
+        channel.note_words_sent(2)
+        assert channel.flush_pending
+        channel.note_words_sent(1)
+        assert not channel.flush_pending
+
+    def test_words_sent_without_flush_is_a_no_op(self):
+        channel = make_channel()
+        channel.note_words_sent(5)
+        assert not channel.flush_pending
+
+
+class TestEligibility:
+    def test_disabled_channel_never_eligible(self):
+        channel = make_channel()
+        channel.space = 10
+        channel.source_queue.push(1)
+        assert not channel.eligible()
+
+    def test_eligible_with_data_above_threshold(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.space = 10
+        channel.source_queue.push(1)
+        assert channel.eligible()
+
+    def test_not_eligible_without_data_or_credits(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        assert not channel.eligible()
+
+    def test_data_threshold_skips_small_queues(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.regs.data_threshold = 4
+        channel.space = 100
+        channel.source_queue.push_many([1, 2, 3])
+        assert not channel.eligible()
+        channel.source_queue.push(4)
+        assert channel.eligible()
+
+    def test_data_blocked_by_zero_space_is_not_eligible(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.source_queue.push_many([1, 2])
+        channel.space = 0
+        assert not channel.eligible()
+
+    def test_credits_alone_make_channel_eligible(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.add_credit(1)
+        assert channel.eligible()
+
+    def test_credit_threshold_batches_credits(self):
+        channel = make_channel()
+        channel.regs.enabled = True
+        channel.regs.credit_threshold = 4
+        channel.add_credit(3)
+        assert not channel.eligible()
+        channel.add_credit(1)
+        assert channel.eligible()
+
+
+class TestStatusWord:
+    def test_status_packs_queue_fillings(self):
+        channel = make_channel()
+        channel.source_queue.push_many([1, 2, 3])
+        channel.dest_queue.push_many([4, 5])
+        assert channel.status_word == (3 << 16) | 2

@@ -1,0 +1,50 @@
+"""Unit tests for the global configuration address map."""
+
+import pytest
+
+from repro.config.address_map import (
+    AddressMapError,
+    ConfigAddressMap,
+    NI_WINDOW_WORDS,
+)
+
+
+class TestConfigAddressMap:
+    def test_each_ni_gets_a_disjoint_window(self):
+        amap = ConfigAddressMap(["ni0", "ni1", "ni2"])
+        assert amap.base("ni0") == 0
+        assert amap.base("ni1") == NI_WINDOW_WORDS
+        assert amap.base("ni2") == 2 * NI_WINDOW_WORDS
+
+    def test_global_address_and_decode_round_trip(self):
+        amap = ConfigAddressMap(["a", "b"])
+        for ni in ("a", "b"):
+            for local in (0, 7, NI_WINDOW_WORDS - 1):
+                gaddr = amap.global_address(ni, local)
+                assert amap.decode(gaddr) == (ni, local)
+
+    def test_local_address_outside_window_rejected(self):
+        amap = ConfigAddressMap(["a"])
+        with pytest.raises(AddressMapError):
+            amap.global_address("a", NI_WINDOW_WORDS)
+
+    def test_unknown_ni_rejected(self):
+        amap = ConfigAddressMap(["a"])
+        with pytest.raises(AddressMapError):
+            amap.base("z")
+
+    def test_decode_outside_every_window_rejected(self):
+        amap = ConfigAddressMap(["a"])
+        with pytest.raises(AddressMapError):
+            amap.decode(5 * NI_WINDOW_WORDS)
+
+    def test_duplicate_and_empty_names_rejected(self):
+        with pytest.raises(AddressMapError):
+            ConfigAddressMap([])
+        with pytest.raises(AddressMapError):
+            ConfigAddressMap(["a", "a"])
+
+    def test_len_and_names(self):
+        amap = ConfigAddressMap(["a", "b"])
+        assert len(amap) == 2
+        assert amap.ni_names == ["a", "b"]

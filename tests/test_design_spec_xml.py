@@ -1,0 +1,165 @@
+"""Unit tests for instance specifications, XML round-trips and generation."""
+
+import pytest
+
+from repro.design.generator import build_system
+from repro.design.spec import (
+    ChannelSpec,
+    NISpec,
+    NoCSpec,
+    PortSpec,
+    SpecError,
+    reference_ni_spec,
+    reference_noc_spec,
+)
+from repro.design.xml_io import from_xml, to_xml
+
+
+class TestSpecValidation:
+    def test_channel_queue_sizes_positive(self):
+        with pytest.raises(SpecError):
+            ChannelSpec(source_queue_words=0)
+
+    def test_port_kind_shell_protocol_validated(self):
+        with pytest.raises(SpecError):
+            PortSpec(name="p", kind="observer")
+        with pytest.raises(SpecError):
+            PortSpec(name="p", shell="bridge")
+        with pytest.raises(SpecError):
+            PortSpec(name="p", protocol="pci")
+        with pytest.raises(SpecError):
+            PortSpec(name="p", channels=[])
+        with pytest.raises(SpecError):
+            PortSpec(name="p", clock_mhz=0)
+
+    def test_ni_duplicate_ports_rejected(self):
+        with pytest.raises(SpecError):
+            NISpec(name="ni", ports=[PortSpec(name="p"), PortSpec(name="p")])
+
+    def test_noc_duplicate_nis_rejected(self):
+        with pytest.raises(SpecError):
+            NoCSpec(nis=[NISpec(name="a"), NISpec(name="a")])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SpecError):
+            NoCSpec(topology="torus")
+
+    def test_lookup_helpers(self):
+        spec = reference_noc_spec()
+        assert spec.ni("ni0").name == "ni0"
+        with pytest.raises(SpecError):
+            spec.ni("missing")
+        ni = spec.ni("ni0")
+        assert ni.port("m1").num_channels == 2
+        with pytest.raises(SpecError):
+            ni.port("missing")
+
+
+class TestReferenceInstance:
+    def test_matches_the_paper_prototype(self):
+        """Section 5: 4 ports with 1, 1, 2 and 4 channels, 8-word queues."""
+        spec = reference_ni_spec()
+        assert spec.num_ports == 4
+        assert sorted(p.num_channels for p in spec.ports) == [1, 1, 2, 4]
+        assert spec.num_channels == 8
+        assert spec.num_slots == 8
+        # 8 channels x 2 queues x 8 words.
+        assert spec.queue_words_total() == 128
+        kinds = sorted(p.kind for p in spec.ports)
+        assert kinds == ["config", "master", "master", "slave"]
+        shells = {p.name: p.shell for p in spec.ports}
+        assert shells["m1"] == "narrowcast"
+        assert shells["s0"] == "multiconnection"
+
+
+class TestXmlRoundTrip:
+    def test_reference_noc_round_trips(self):
+        spec = reference_noc_spec()
+        recovered = from_xml(to_xml(spec))
+        assert recovered == spec
+
+    def test_custom_instance_round_trips(self):
+        spec = NoCSpec(
+            name="custom", topology="ring", rows=1, cols=5, num_slots=16,
+            be_buffer_flits=4, routing="shortest",
+            nis=[NISpec(name="ni_a", router=3, num_slots=16,
+                        be_arbiter="queue_fill", max_packet_words=11,
+                        ports=[PortSpec(name="x", kind="slave", protocol="axi",
+                                        shell=None, clock_mhz=123.0,
+                                        channels=[ChannelSpec(4, 32)])])])
+        recovered = from_xml(to_xml(spec))
+        assert recovered == spec
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SpecError):
+            from_xml("<noc><ni></noc>")
+        with pytest.raises(SpecError):
+            from_xml("<network/>")
+
+    def test_defaults_fill_missing_attributes(self):
+        spec = from_xml('<noc name="n"><ni name="a" router="0">'
+                        '<port name="p"/></ni></noc>')
+        assert spec.nis[0].ports[0].num_channels == 1
+        assert spec.nis[0].ports[0].clock_mhz == 500.0
+
+
+class TestGenerator:
+    def test_build_system_creates_routers_and_nis(self):
+        system = build_system(reference_noc_spec())
+        assert system.noc.num_routers == 2
+        assert set(system.nis) == {"ni0", "ni1"}
+        kernel = system.kernel("ni0")
+        assert kernel.num_channels == 8
+        assert set(kernel.ports) == {"cfg", "m0", "m1", "s0"}
+
+    def test_port_clocks_created_per_port(self):
+        system = build_system(reference_noc_spec())
+        clock = system.port_clock("ni0", "m0")
+        assert clock.frequency_mhz == 500.0
+
+    def test_queue_sizes_follow_spec(self):
+        spec = NoCSpec(
+            rows=1, cols=1, topology="mesh",
+            nis=[NISpec(name="a", router=(0, 0),
+                        ports=[PortSpec(name="p",
+                                        channels=[ChannelSpec(4, 32)])])])
+        system = build_system(spec)
+        channel = system.kernel("a").channel(0)
+        assert channel.source_queue.capacity == 4
+        assert channel.dest_queue.capacity == 32
+
+    def test_unknown_router_rejected(self):
+        spec = NoCSpec(rows=1, cols=1,
+                       nis=[NISpec(name="a", router=(5, 5),
+                                   ports=[PortSpec(name="p")])])
+        with pytest.raises(SpecError):
+            build_system(spec)
+
+    def test_ring_and_single_topologies_build(self):
+        ring = NoCSpec(topology="ring", rows=1, cols=4,
+                       nis=[NISpec(name="a", router=0, ports=[PortSpec(name="p")]),
+                            NISpec(name="b", router=2, ports=[PortSpec(name="p")])])
+        system = build_system(ring)
+        assert system.noc.num_routers == 4
+        single = NoCSpec(topology="single",
+                         nis=[NISpec(name="a", router=0, ports=[PortSpec(name="p")]),
+                              NISpec(name="b", router=0, ports=[PortSpec(name="p")])])
+        system = build_system(single)
+        assert system.noc.num_routers == 1
+        assert system.noc.hop_count("a", "b") == 1
+
+    def test_generated_system_runs(self):
+        system = build_system(reference_noc_spec())
+        system.run_flit_cycles(10)
+        assert system.sim.now > 0
+
+    def test_functional_configurator_uses_system_allocator(self):
+        system = build_system(reference_noc_spec())
+        configurator = system.functional_configurator()
+        assert configurator.allocator is system.allocator
+
+    def test_describe_reports_structure(self):
+        system = build_system(reference_noc_spec())
+        description = system.ni("ni0").describe()
+        assert description["channels"] == 8
+        assert description["queue_words"] == 128

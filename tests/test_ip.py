@@ -1,0 +1,214 @@
+"""Unit tests for the IP-module models: traffic patterns, memories, slaves."""
+
+import pytest
+
+from repro.ip.memory import MemoryRangeError, SharedMemory
+from repro.ip.slave import MemorySlave, RegisterSlave
+from repro.ip.traffic import (
+    BurstyTraffic,
+    ConstantBitRateTraffic,
+    RandomTraffic,
+    VideoLineTraffic,
+    merge_patterns,
+)
+from repro.protocol.transactions import Command, ResponseError, Transaction
+
+
+class TestSharedMemory:
+    def test_read_default_fill(self):
+        memory = SharedMemory(fill=0xAA)
+        assert memory.read(0x10) == 0xAA
+
+    def test_write_then_read(self):
+        memory = SharedMemory()
+        memory.write(4, 123)
+        assert memory.read(4) == 123
+        assert memory.reads == 1 and memory.writes == 1
+
+    def test_burst_round_trip(self):
+        memory = SharedMemory()
+        memory.write_burst(0x100, [1, 2, 3])
+        assert memory.read_burst(0x100, 3) == [1, 2, 3]
+
+    def test_bounds_enforced_when_sized(self):
+        memory = SharedMemory(size_words=16)
+        memory.write(15, 1)
+        with pytest.raises(MemoryRangeError):
+            memory.write(16, 1)
+        with pytest.raises(MemoryRangeError):
+            memory.read(-1)
+
+    def test_values_masked_to_32_bits(self):
+        memory = SharedMemory()
+        memory.write(0, 1 << 36)
+        assert memory.read(0) == 0
+
+
+class TestMemorySlave:
+    def test_executes_after_latency(self):
+        slave = MemorySlave("m", latency_cycles=3)
+        slave.enqueue(Transaction.write(0, [5]))
+        slave.tick(0)
+        assert slave.pop_response() is None
+        slave.tick(3)
+        txn, response = slave.pop_response()
+        assert response.ok
+        assert slave.memory.read(0) == 5
+        del txn
+
+    def test_zero_latency_executes_same_tick(self):
+        slave = MemorySlave("m", latency_cycles=0)
+        slave.enqueue(Transaction.read(0, 1))
+        slave.tick(0)
+        assert slave.pop_response() is not None
+
+    def test_read_returns_memory_contents(self):
+        slave = MemorySlave("m", latency_cycles=0)
+        slave.memory.write(8, 77)
+        slave.enqueue(Transaction.read(8, 1))
+        slave.tick(0)
+        _, response = slave.pop_response()
+        assert response.read_data == [77]
+
+    def test_out_of_range_reports_error(self):
+        slave = MemorySlave("m", memory=SharedMemory(size_words=4),
+                            latency_cycles=0)
+        slave.enqueue(Transaction.read(100, 1))
+        slave.tick(0)
+        _, response = slave.pop_response()
+        assert response.error == ResponseError.DECODE_ERROR
+
+    def test_throughput_limit_per_cycle(self):
+        slave = MemorySlave("m", latency_cycles=0, transactions_per_cycle=1)
+        slave.enqueue(Transaction.read(0, 1))
+        slave.enqueue(Transaction.read(4, 1))
+        slave.tick(0)
+        assert slave.pop_response() is not None
+        assert slave.pop_response() is None
+        slave.tick(1)
+        assert slave.pop_response() is not None
+
+    def test_responses_in_fifo_order(self):
+        slave = MemorySlave("m", latency_cycles=0, transactions_per_cycle=4)
+        first = Transaction.read(0, 1)
+        second = Transaction.read(4, 1)
+        slave.enqueue(first)
+        slave.enqueue(second)
+        slave.tick(0)
+        assert slave.pop_response()[0] is first
+        assert slave.pop_response()[0] is second
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MemorySlave("m", latency_cycles=-1)
+        with pytest.raises(ValueError):
+            MemorySlave("m", transactions_per_cycle=0)
+
+
+class TestRegisterSlave:
+    def test_read_write(self):
+        slave = RegisterSlave("r", num_registers=4)
+        slave.enqueue(Transaction.write(1, [11, 22]))
+        slave.pop_response()
+        slave.enqueue(Transaction.read(1, 2))
+        _, response = slave.pop_response()
+        assert response.read_data == [11, 22]
+
+    def test_out_of_range(self):
+        slave = RegisterSlave("r", num_registers=2)
+        slave.enqueue(Transaction.read(1, 2))
+        _, response = slave.pop_response()
+        assert response.error == ResponseError.DECODE_ERROR
+
+    def test_needs_at_least_one_register(self):
+        with pytest.raises(ValueError):
+            RegisterSlave("r", num_registers=0)
+
+
+class TestTrafficPatterns:
+    def test_cbr_period_and_burst(self):
+        pattern = ConstantBitRateTraffic(period_cycles=4, burst_words=2)
+        issued = [pattern.transactions_for_cycle(c) for c in range(8)]
+        counts = [len(x) for x in issued]
+        assert counts == [1, 0, 0, 0, 1, 0, 0, 0]
+        assert issued[0][0].burst_length == 2
+        assert pattern.expected_words_per_cycle() == pytest.approx(0.5)
+
+    def test_cbr_read_mode(self):
+        pattern = ConstantBitRateTraffic(period_cycles=2, burst_words=4,
+                                         write=False)
+        txn = pattern.transactions_for_cycle(0)[0]
+        assert txn.command == Command.READ
+        assert txn.read_length == 4
+
+    def test_cbr_addresses_stride_and_wrap(self):
+        pattern = ConstantBitRateTraffic(period_cycles=1, burst_words=1,
+                                         address_stride=4, address_wrap=8)
+        addresses = [pattern.transactions_for_cycle(c)[0].address
+                     for c in range(4)]
+        assert addresses == [0, 4, 0, 4]
+
+    def test_cbr_start_cycle(self):
+        pattern = ConstantBitRateTraffic(period_cycles=2, start_cycle=6)
+        assert pattern.transactions_for_cycle(4) == []
+        assert len(pattern.transactions_for_cycle(6)) == 1
+
+    def test_cbr_validation(self):
+        with pytest.raises(ValueError):
+            ConstantBitRateTraffic(period_cycles=0)
+        with pytest.raises(ValueError):
+            ConstantBitRateTraffic(period_cycles=1, burst_words=0)
+
+    def test_bursty_duty_cycle(self):
+        pattern = BurstyTraffic(on_cycles=2, off_cycles=6, burst_words=1)
+        counts = [len(pattern.transactions_for_cycle(c)) for c in range(16)]
+        assert sum(counts) == 4
+        assert counts[0] == 1 and counts[1] == 1 and counts[2] == 0
+        assert pattern.expected_words_per_cycle() == pytest.approx(0.25)
+
+    def test_random_traffic_is_deterministic_per_seed(self):
+        a = RandomTraffic(0.3, seed=7)
+        b = RandomTraffic(0.3, seed=7)
+        for cycle in range(50):
+            ta = a.transactions_for_cycle(cycle)
+            tb = b.transactions_for_cycle(cycle)
+            assert len(ta) == len(tb)
+            if ta:
+                assert ta[0].command == tb[0].command
+                assert ta[0].address == tb[0].address
+
+    def test_random_traffic_rate_matches_probability(self):
+        pattern = RandomTraffic(0.5, burst_words=1, seed=3)
+        injected = sum(len(pattern.transactions_for_cycle(c))
+                       for c in range(2000))
+        assert 800 < injected < 1200
+
+    def test_random_traffic_validation(self):
+        with pytest.raises(ValueError):
+            RandomTraffic(1.5)
+        with pytest.raises(ValueError):
+            RandomTraffic(0.5, read_fraction=2.0)
+
+    def test_video_line_structure(self):
+        pattern = VideoLineTraffic(pixels_per_line=16, burst_words=8,
+                                   cycles_per_burst=4, blanking_cycles=8)
+        line_cycles = pattern.line_cycles
+        transactions = []
+        for cycle in range(line_cycles):
+            transactions.extend(pattern.transactions_for_cycle(cycle))
+        assert len(transactions) == 2                       # two bursts per line
+        assert sum(t.burst_length for t in transactions) == 16
+        assert pattern.expected_words_per_cycle() == pytest.approx(16 / line_cycles)
+
+    def test_video_line_addresses_advance_per_line(self):
+        pattern = VideoLineTraffic(pixels_per_line=8, burst_words=8,
+                                   cycles_per_burst=4, blanking_cycles=4)
+        first_line = pattern.transactions_for_cycle(0)[0]
+        second_line = pattern.transactions_for_cycle(pattern.line_cycles)[0]
+        assert second_line.address == first_line.address + 8 * 4
+
+    def test_merge_patterns(self):
+        patterns = [ConstantBitRateTraffic(period_cycles=1, burst_words=1),
+                    ConstantBitRateTraffic(period_cycles=1, burst_words=2)]
+        merged = list(merge_patterns(patterns, cycle=0))
+        assert len(merged) == 2

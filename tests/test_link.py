@@ -1,0 +1,117 @@
+"""Unit tests for the single-stage link model."""
+
+import pytest
+
+from repro.network.link import Link, LinkContentionError
+from repro.network.packet import Packet, PacketHeader, packet_to_flits
+
+
+def make_flit(is_gt=False):
+    header = PacketHeader(path=(0,), remote_qid=0, is_gt=is_gt)
+    return packet_to_flits(Packet(header, [1, 2]))[0]
+
+
+class FakeSink:
+    """A sink exposing the link-level flow-control interface."""
+
+    def __init__(self, space=4):
+        self.space = space
+
+    def be_space(self, port):
+        return self.space
+
+
+class TestLink:
+    def test_flit_visible_one_cycle_after_send(self):
+        link = Link("l")
+        flit = make_flit()
+        link.send(flit)
+        assert link.take() is None          # not yet committed
+        link.post_tick(0)
+        assert link.take() is flit          # visible next cycle
+        assert link.take() is None
+
+    def test_peek_does_not_consume(self):
+        link = Link("l")
+        flit = make_flit()
+        link.send(flit)
+        link.post_tick(0)
+        assert link.peek() is flit
+        assert link.take() is flit
+
+    def test_double_send_in_one_cycle_raises(self):
+        link = Link("l")
+        link.send(make_flit())
+        with pytest.raises(LinkContentionError):
+            link.send(make_flit())
+
+    def test_can_send_reflects_incoming_register(self):
+        link = Link("l")
+        assert link.can_send()
+        link.send(make_flit())
+        assert not link.can_send()
+        link.post_tick(0)
+        assert link.can_send()
+
+    def test_undrained_flit_raises_on_commit(self):
+        link = Link("l")
+        link.send(make_flit())
+        link.post_tick(0)
+        link.send(make_flit())
+        with pytest.raises(LinkContentionError):
+            link.post_tick(1)  # previous flit never taken
+
+    def test_be_backpressure_uses_sink_space(self):
+        link = Link("l")
+        link.sink = FakeSink(space=1)
+        link.sink_port = 0
+        assert link.can_send_be()
+        link.send(make_flit())
+        link.post_tick(0)
+        # One flit in flight, sink has space 1 -> no more room.
+        assert not link.can_send_be()
+
+    def test_be_backpressure_without_sink_is_permissive(self):
+        link = Link("l")
+        assert link.can_send_be()
+
+    def test_statistics_count_words_and_kinds(self):
+        link = Link("l")
+        gt_flit = make_flit(is_gt=True)
+        be_flit = make_flit(is_gt=False)
+        link.send(gt_flit)
+        link.post_tick(0)
+        link.take()
+        link.send(be_flit)
+        link.post_tick(1)
+        link.take()
+        assert link.flits_carried == 2
+        assert link.gt_flits_carried == 1
+        assert link.be_flits_carried == 1
+        assert link.words_carried == gt_flit.num_words + be_flit.num_words
+
+    def test_utilization(self):
+        link = Link("l")
+        link.send(make_flit())
+        link.post_tick(0)
+        link.take()
+        assert link.utilization(4) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            link.utilization(0)
+
+    def test_occupancy(self):
+        link = Link("l")
+        assert link.occupancy == 0
+        link.send(make_flit())
+        assert link.occupancy == 1
+        link.post_tick(0)
+        assert link.occupancy == 1
+        link.take()
+        assert link.occupancy == 0
+
+    def test_connect_records_endpoints(self):
+        link = Link("l")
+        src, dst = object(), FakeSink()
+        link.connect(src, 2, dst, 3)
+        assert link.source is src and link.source_port == 2
+        assert link.sink is dst and link.sink_port == 3

@@ -1,0 +1,152 @@
+"""Unit tests (and property tests) for the Figure 7 message formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.messages import (
+    FLAG_POSTED,
+    MessageError,
+    RequestMessage,
+    ResponseMessage,
+    request_from_words,
+    response_from_words,
+)
+from repro.protocol.transactions import Command, ResponseError
+
+
+class TestRequestMessage:
+    def test_write_request_word_count(self):
+        msg = RequestMessage(command=Command.WRITE, address=0x40,
+                             write_data=[1, 2, 3])
+        # header + address + 3 data words
+        assert msg.num_words == 5
+        assert msg.length == 3
+        assert msg.expects_response
+        assert msg.response_length == 0
+
+    def test_read_request_word_count(self):
+        msg = RequestMessage(command=Command.READ, address=0x40, read_length=8)
+        assert msg.num_words == 2
+        assert msg.length == 8
+        assert msg.response_length == 8
+
+    def test_posted_write_has_no_response(self):
+        msg = RequestMessage(command=Command.WRITE_POSTED, address=0,
+                             write_data=[1], flags=FLAG_POSTED)
+        assert not msg.expects_response
+
+    def test_round_trip_write(self):
+        msg = RequestMessage(command=Command.WRITE, address=0xDEADBEEF,
+                             write_data=[0xFFFFFFFF, 0, 7], flags=0x5,
+                             trans_id=0xAB)
+        decoded = request_from_words(msg.to_words())
+        assert decoded == msg
+
+    def test_round_trip_read(self):
+        msg = RequestMessage(command=Command.READ, address=0x1234,
+                             read_length=100, trans_id=3)
+        decoded = request_from_words(msg.to_words())
+        assert decoded == msg
+
+    def test_words_expected_matches_serialization(self):
+        msg = RequestMessage(command=Command.WRITE, address=0, write_data=[1, 2])
+        words = msg.to_words()
+        assert RequestMessage.words_expected(words[0]) == len(words)
+        read = RequestMessage(command=Command.READ, address=0, read_length=9)
+        assert RequestMessage.words_expected(read.to_words()[0]) == 2
+
+    def test_field_range_validation(self):
+        with pytest.raises(MessageError):
+            RequestMessage(command=Command.READ, address=1 << 33, read_length=1)
+        with pytest.raises(MessageError):
+            RequestMessage(command=Command.READ, address=0, read_length=1,
+                           trans_id=300)
+        with pytest.raises(MessageError):
+            RequestMessage(command=Command.READ, address=0, read_length=1,
+                           flags=0x1FF)
+        with pytest.raises(MessageError):
+            RequestMessage(command=Command.WRITE, address=0,
+                           write_data=[0] * 5000)
+
+    def test_malformed_word_streams_rejected(self):
+        with pytest.raises(MessageError):
+            request_from_words([0])
+        msg = RequestMessage(command=Command.WRITE, address=0, write_data=[1, 2])
+        with pytest.raises(MessageError):
+            request_from_words(msg.to_words()[:-1])   # truncated
+        read = RequestMessage(command=Command.READ, address=0, read_length=1)
+        with pytest.raises(MessageError):
+            request_from_words(read.to_words() + [42])  # trailing junk
+
+
+class TestResponseMessage:
+    def test_read_response_word_count(self):
+        msg = ResponseMessage(command=Command.READ, read_data=[1, 2, 3, 4])
+        assert msg.num_words == 5
+        assert msg.length == 4
+        assert msg.ok
+
+    def test_write_ack_is_single_word(self):
+        msg = ResponseMessage(command=Command.WRITE, trans_id=9)
+        assert msg.num_words == 1
+
+    def test_round_trip(self):
+        msg = ResponseMessage(command=Command.READ,
+                              error=ResponseError.SLAVE_ERROR,
+                              read_data=[7, 8], trans_id=0x44)
+        assert response_from_words(msg.to_words()) == msg
+
+    def test_words_expected(self):
+        msg = ResponseMessage(command=Command.READ, read_data=[1] * 6)
+        assert ResponseMessage.words_expected(msg.to_words()[0]) == 7
+
+    def test_validation(self):
+        with pytest.raises(MessageError):
+            ResponseMessage(command=Command.READ, trans_id=999)
+        with pytest.raises(MessageError):
+            response_from_words([])
+        msg = ResponseMessage(command=Command.READ, read_data=[1, 2])
+        with pytest.raises(MessageError):
+            response_from_words(msg.to_words()[:-1])
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip tests
+# ---------------------------------------------------------------------------
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@settings(max_examples=60, deadline=None)
+@given(address=words,
+       data=st.lists(words, min_size=1, max_size=20),
+       flags=st.integers(min_value=0, max_value=0xFF),
+       trans_id=st.integers(min_value=0, max_value=0xFF),
+       posted=st.booleans())
+def test_write_request_round_trip_property(address, data, flags, trans_id, posted):
+    command = Command.WRITE_POSTED if posted else Command.WRITE
+    msg = RequestMessage(command=command, address=address, write_data=data,
+                         flags=flags, trans_id=trans_id)
+    assert request_from_words(msg.to_words()) == msg
+
+
+@settings(max_examples=60, deadline=None)
+@given(address=words,
+       length=st.integers(min_value=1, max_value=0xFFF),
+       trans_id=st.integers(min_value=0, max_value=0xFF))
+def test_read_request_round_trip_property(address, length, trans_id):
+    msg = RequestMessage(command=Command.READ, address=address,
+                         read_length=length, trans_id=trans_id)
+    decoded = request_from_words(msg.to_words())
+    assert decoded == msg
+    assert RequestMessage.words_expected(msg.to_words()[0]) == len(msg.to_words())
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(words, min_size=0, max_size=20),
+       error=st.sampled_from(list(ResponseError)),
+       trans_id=st.integers(min_value=0, max_value=0xFF))
+def test_response_round_trip_property(data, error, trans_id):
+    msg = ResponseMessage(command=Command.READ, error=error, read_data=data,
+                          trans_id=trans_id)
+    assert response_from_words(msg.to_words()) == msg

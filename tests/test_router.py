@@ -1,0 +1,257 @@
+"""Unit tests for the GT/BE router."""
+
+import pytest
+
+from repro.network.link import Link
+from repro.network.packet import Packet, PacketError, PacketHeader, packet_to_flits
+from repro.network.router import BufferOverflowError, Router, SlotConflictError
+from repro.network.slot_table import RouterSlotTable
+
+
+def make_packet(path, payload_words=2, gt=False, qid=0, channel_key=None):
+    header = PacketHeader(path=path, remote_qid=qid, is_gt=gt,
+                          channel_key=channel_key)
+    return Packet(header, list(range(payload_words)))
+
+
+class RouterHarness:
+    """A router with links on every port and manual clocking.
+
+    Each :meth:`step` performs one flit cycle: input links commit the flits
+    injected during the previous step, the router ticks, output links commit,
+    and everything that appeared on the outputs is collected.
+    """
+
+    def __init__(self, num_ports=3, **kwargs):
+        self.router = Router("R", num_ports, **kwargs)
+        self.num_ports = num_ports
+        self.in_links = []
+        self.out_links = []
+        for port in range(num_ports):
+            in_link = Link(f"in{port}")
+            out_link = Link(f"out{port}")
+            self.router.connect_input(port, in_link)
+            self.router.connect_output(port, out_link)
+            self.in_links.append(in_link)
+            self.out_links.append(out_link)
+        self.cycle = 0
+        self.collected = {port: [] for port in range(num_ports)}
+
+    def inject(self, port, flit):
+        self.in_links[port].send(flit)
+
+    def step(self):
+        for link in self.in_links:
+            link.post_tick(self.cycle)
+        self.router.tick(self.cycle)
+        for port, link in enumerate(self.out_links):
+            link.post_tick(self.cycle)
+            flit = link.take()
+            if flit is not None:
+                self.collected[port].append(flit)
+        self.cycle += 1
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.step()
+
+    def output(self, port):
+        return self.collected[port]
+
+
+class TestGTForwarding:
+    def test_gt_flit_forwarded_in_one_cycle(self):
+        harness = RouterHarness()
+        flit = packet_to_flits(make_packet(path=(2,), gt=True))[0]
+        harness.inject(0, flit)
+        harness.step()
+        assert harness.output(2) == [flit]
+
+    def test_gt_multiflit_packet_keeps_order_and_output(self):
+        harness = RouterHarness()
+        packet = make_packet(path=(1,), payload_words=8, gt=True)
+        flits = packet_to_flits(packet)
+        for flit in flits:
+            harness.inject(0, flit)
+            harness.step()
+        assert harness.output(1) == flits
+
+    def test_two_gt_flits_for_same_output_raise(self):
+        harness = RouterHarness(strict_gt=True)
+        f0 = packet_to_flits(make_packet(path=(2,), gt=True,
+                                         channel_key=("a", 0)))[0]
+        f1 = packet_to_flits(make_packet(path=(2,), gt=True,
+                                         channel_key=("b", 0)))[0]
+        harness.inject(0, f0)
+        harness.inject(1, f1)
+        with pytest.raises(SlotConflictError):
+            harness.step()
+
+    def test_gt_conflict_tolerated_when_not_strict(self):
+        harness = RouterHarness(strict_gt=False)
+        f0 = packet_to_flits(make_packet(path=(2,), gt=True))[0]
+        f1 = packet_to_flits(make_packet(path=(2,), gt=True))[0]
+        harness.inject(0, f0)
+        harness.inject(1, f1)
+        harness.run(3)
+        assert harness.router.stats.counter("gt_conflicts").value >= 1
+        assert len(harness.output(2)) == 2
+
+    def test_gt_to_different_outputs_forwarded_same_cycle(self):
+        harness = RouterHarness()
+        f0 = packet_to_flits(make_packet(path=(1,), gt=True))[0]
+        f1 = packet_to_flits(make_packet(path=(2,), gt=True))[0]
+        harness.inject(0, f0)
+        harness.inject(2, f1)
+        harness.step()
+        assert harness.output(1) == [f0]
+        assert harness.output(2) == [f1]
+
+
+class TestBEForwarding:
+    def test_be_flit_forwarded(self):
+        harness = RouterHarness()
+        flit = packet_to_flits(make_packet(path=(1,)))[0]
+        harness.inject(0, flit)
+        harness.step()
+        assert harness.output(1) == [flit]
+
+    def test_gt_has_priority_over_be(self):
+        harness = RouterHarness()
+        be = packet_to_flits(make_packet(path=(2,)))[0]
+        gt = packet_to_flits(make_packet(path=(2,), gt=True))[0]
+        harness.inject(0, be)
+        harness.inject(1, gt)
+        harness.run(2)
+        assert harness.output(2) == [gt, be]
+
+    def test_wormhole_keeps_be_packet_contiguous_on_its_output(self):
+        harness = RouterHarness()
+        long_packet = make_packet(path=(2,), payload_words=8)   # 3 flits
+        competitor = make_packet(path=(2,), payload_words=1)    # 1 flit
+        long_flits = packet_to_flits(long_packet)
+        competitor_flit = packet_to_flits(competitor)[0]
+        harness.inject(0, long_flits[0])
+        harness.step()
+        # The competitor shows up at another input while the long packet is
+        # mid-flight; the output is locked until the tail passes.
+        harness.inject(1, competitor_flit)
+        harness.inject(0, long_flits[1])
+        harness.step()
+        harness.inject(0, long_flits[2])
+        harness.run(4)
+        order = [f.packet.packet_id for f in harness.output(2)]
+        assert order == [long_packet.packet_id] * 3 + [competitor.packet_id]
+
+    def test_round_robin_alternates_between_inputs(self):
+        harness = RouterHarness()
+        flits_a = [packet_to_flits(make_packet(path=(2,), payload_words=1))[0]
+                   for _ in range(2)]
+        flits_b = [packet_to_flits(make_packet(path=(2,), payload_words=1))[0]
+                   for _ in range(2)]
+        harness.inject(0, flits_a[0])
+        harness.inject(1, flits_b[0])
+        harness.step()
+        harness.inject(0, flits_a[1])
+        harness.inject(1, flits_b[1])
+        harness.run(4)
+        out = harness.output(2)
+        assert len(out) == 4
+        # Never two consecutive grants to the same input when both compete.
+        sources = [f.packet.packet_id in {p.packet.packet_id for p in flits_a}
+                   for f in out[:2]]
+        assert sources[0] != sources[1]
+
+    def test_be_backpressure_holds_flit_when_output_is_blocked(self):
+        router = Router("R", 2, be_buffer_flits=4)
+        in_link = Link("in")
+        out_link = Link("out")
+        router.connect_input(0, in_link)
+        router.connect_output(1, out_link)
+        # Pre-occupy the output link so can_send_be() is False.
+        out_link.send(packet_to_flits(make_packet(path=(1,)))[0])
+        flit = packet_to_flits(make_packet(path=(1,)))[0]
+        in_link.send(flit)
+        in_link.post_tick(0)
+        router.tick(0)
+        assert router.be_queue_depth(0) == 1
+        assert router.stats.counter("be_backpressure_stalls").value == 1
+
+    def test_be_buffer_overflow_detected(self):
+        router = Router("R", 2, be_buffer_flits=1)
+        in_link = Link("in")
+        out_link = Link("out")
+        router.connect_input(0, in_link)
+        router.connect_output(1, out_link)
+        out_link.send(packet_to_flits(make_packet(path=(1,)))[0])  # block output
+        in_link.send(packet_to_flits(make_packet(path=(1,)))[0])
+        in_link.post_tick(0)
+        router.tick(0)          # buffer now full, output blocked
+        in_link.send(packet_to_flits(make_packet(path=(1,)))[0])
+        in_link.post_tick(1)
+        with pytest.raises(BufferOverflowError):
+            router.tick(1)
+
+    def test_be_space_reports_free_buffer(self):
+        router = Router("R", 2, be_buffer_flits=4)
+        assert router.be_space(0) == 4
+
+    def test_route_mismatch_detected(self):
+        harness = RouterHarness()
+        packet = make_packet(path=(1,))
+        flit = packet_to_flits(packet)[0]
+        packet.advance_route()  # corrupt the route pointer
+        harness.inject(0, flit)
+        with pytest.raises(PacketError):
+            harness.step()
+
+
+class TestRouterSlotChecking:
+    def test_slot_mismatch_counted(self):
+        table = RouterSlotTable(num_outputs=3, num_slots=4)
+        table.reserve(2, 0, ("owner", 0))
+        harness = RouterHarness(slot_table=table)
+        # A GT flit from a different channel arrives in slot 0 wanting output 2.
+        flit = packet_to_flits(make_packet(path=(2,), gt=True,
+                                           channel_key=("intruder", 1)))[0]
+        harness.inject(0, flit)
+        harness.step()
+        assert harness.router.stats.counter(
+            "slot_reservation_mismatches").value == 1
+
+    def test_matching_reservation_not_flagged(self):
+        table = RouterSlotTable(num_outputs=3, num_slots=4)
+        table.reserve(2, 0, ("owner", 0))
+        harness = RouterHarness(slot_table=table)
+        flit = packet_to_flits(make_packet(path=(2,), gt=True,
+                                           channel_key=("owner", 0)))[0]
+        harness.inject(0, flit)
+        harness.step()
+        assert harness.router.stats.counter(
+            "slot_reservation_mismatches").value == 0
+
+
+class TestRouterConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Router("R", 0)
+        with pytest.raises(ValueError):
+            Router("R", 2, be_buffer_flits=0)
+
+    def test_port_bounds_checked(self):
+        router = Router("R", 2)
+        with pytest.raises(ValueError):
+            router.connect_input(5, Link("x"))
+
+    def test_buffered_flits_starts_at_zero(self):
+        assert Router("R", 2).buffered_flits() == 0
+
+    def test_statistics_track_in_and_out_flits(self):
+        harness = RouterHarness()
+        harness.inject(0, packet_to_flits(make_packet(path=(1,), gt=True))[0])
+        harness.inject(1, packet_to_flits(make_packet(path=(2,)))[0])
+        harness.run(2)
+        assert harness.router.stats.counter("gt_flits_in").value == 1
+        assert harness.router.stats.counter("be_flits_in").value == 1
+        assert harness.router.stats.counter("gt_flits_out").value == 1
+        assert harness.router.stats.counter("be_flits_out").value == 1

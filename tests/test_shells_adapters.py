@@ -1,0 +1,297 @@
+"""Unit tests for the master/slave protocol-adapter shells and the
+configuration shell / CNIP slave."""
+
+import pytest
+
+from repro.core.kernel import NIKernel
+from repro.core.registers import (
+    REG_CTRL,
+    REG_SPACE,
+    channel_register_address,
+    encode_ctrl,
+)
+from repro.core.shells.base import ConnectionShell, ShellError
+from repro.core.shells.config_shell import ConfigShell, ConfigurationSlave
+from repro.core.shells.master import MasterShell
+from repro.core.shells.point_to_point import PointToPointShell
+from repro.core.shells.slave import SlaveShell
+from repro.ip.slave import MemorySlave
+from repro.protocol.messages import ResponseMessage, request_from_words
+from repro.protocol.transactions import Command, ResponseError, Transaction
+from repro.sim.engine import Simulator
+
+
+def make_port(num_channels=1, queue_words=32):
+    kernel = NIKernel("ni", Simulator(), num_slots=8)
+    for _ in range(num_channels):
+        kernel.add_channel(queue_words, queue_words, cdc_cycles=0)
+    return kernel, kernel.add_port("p", list(range(num_channels)))
+
+
+def run_ticks(components, cycles):
+    for cycle in range(cycles):
+        for component in components:
+            component.tick(cycle)
+
+
+def source_words(port, conn=0):
+    channel = port.channel(conn)
+    return channel.source_queue.pop_many(channel.source_queue.fill)
+
+
+class TestMasterShell:
+    def test_transaction_becomes_request_message(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=0)
+        master.submit(Transaction.write(0x40, [1, 2]), cycle=0)
+        run_ticks([master, conn_shell], 10)
+        message = request_from_words(source_words(port))
+        assert message.command == Command.WRITE
+        assert message.address == 0x40
+        assert message.write_data == [1, 2]
+
+    def test_sequentialization_latency_delays_issue(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=3)
+        master.submit(Transaction.write(0, [1], posted=True), cycle=0)
+        run_ticks([master, conn_shell], 2)
+        assert port.channel(0).source_queue.fill == 0
+        run_ticks([master, conn_shell], 10)
+        assert port.channel(0).source_queue.fill > 0
+
+    def test_posted_write_completes_without_response(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=0)
+        txn = Transaction.write(0, [1], posted=True)
+        master.submit(txn, cycle=0)
+        run_ticks([master, conn_shell], 5)
+        assert master.poll_completed() == [txn]
+        assert master.outstanding == 0
+
+    def test_response_completes_matching_transaction(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=0)
+        txn = Transaction.read(0x8, 2)
+        master.submit(txn, cycle=0)
+        run_ticks([master, conn_shell], 5)
+        response = ResponseMessage(command=Command.READ, read_data=[5, 6],
+                                   trans_id=txn.trans_id)
+        port.channel(0).dest_queue.push_many(response.to_words())
+        run_ticks([conn_shell, master], 10)
+        completed = master.poll_completed()
+        assert completed == [txn]
+        assert txn.response.read_data == [5, 6]
+        assert txn.latency_cycles is not None
+
+    def test_unknown_response_id_rejected(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=0)
+        stray = ResponseMessage(command=Command.READ, read_data=[1], trans_id=99)
+        port.channel(0).dest_queue.push_many(stray.to_words())
+        with pytest.raises(ShellError):
+            run_ticks([conn_shell, master], 10)
+
+    def test_outstanding_limit(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, max_outstanding=2)
+        assert master.submit(Transaction.read(0, 1))
+        assert master.submit(Transaction.read(4, 1))
+        assert not master.can_submit()
+        assert not master.submit(Transaction.read(8, 1))
+
+    def test_trans_ids_distinct_for_outstanding_transactions(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        master = MasterShell("m", conn_shell, seq_latency_cycles=0,
+                             max_outstanding=8)
+        txns = [Transaction.read(4 * i, 1) for i in range(8)]
+        for txn in txns:
+            master.submit(txn, cycle=0)
+        run_ticks([master, conn_shell], 60)
+        ids = [txn.trans_id for txn in txns]
+        assert len(set(ids)) == len(ids)
+
+    def test_requires_master_role_shell(self):
+        _, port = make_port()
+        slave_shell = PointToPointShell("c", port, role="slave")
+        with pytest.raises(ShellError):
+            MasterShell("m", slave_shell)
+
+    def test_unknown_protocol_rejected(self):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="master")
+        with pytest.raises(ShellError):
+            MasterShell("m", conn_shell, protocol="ocp2")
+
+
+class TestSlaveShell:
+    def make(self, latency=0):
+        _, port = make_port()
+        conn_shell = PointToPointShell("c", port, role="slave")
+        memory = MemorySlave("mem", latency_cycles=latency)
+        shell = SlaveShell("s", conn_shell, memory)
+        return port, conn_shell, memory, shell
+
+    def feed_request(self, port, message):
+        port.channel(0).dest_queue.push_many(message.to_words())
+
+    def test_write_request_executed_and_acknowledged(self):
+        from repro.protocol.messages import RequestMessage
+        port, conn_shell, memory, shell = self.make()
+        request = RequestMessage(command=Command.WRITE, address=0x10,
+                                 write_data=[7, 8], trans_id=3)
+        self.feed_request(port, request)
+        run_ticks([conn_shell, shell, memory], 20)
+        assert memory.memory.read(0x10) == 7
+        assert memory.memory.read(0x11) == 8
+        words = source_words(port)
+        response = ResponseMessage(command=Command.WRITE, trans_id=3)
+        assert words == response.to_words()
+
+    def test_read_request_returns_data(self):
+        from repro.protocol.messages import RequestMessage
+        port, conn_shell, memory, shell = self.make()
+        memory.memory.write(0x20, 42)
+        request = RequestMessage(command=Command.READ, address=0x20,
+                                 read_length=1, trans_id=5)
+        self.feed_request(port, request)
+        run_ticks([conn_shell, shell, memory], 20)
+        words = source_words(port)
+        assert words == ResponseMessage(command=Command.READ, read_data=[42],
+                                        trans_id=5).to_words()
+
+    def test_posted_write_produces_no_response(self):
+        from repro.protocol.messages import RequestMessage
+        port, conn_shell, memory, shell = self.make()
+        request = RequestMessage(command=Command.WRITE_POSTED, address=0x0,
+                                 write_data=[1], trans_id=1)
+        self.feed_request(port, request)
+        run_ticks([conn_shell, shell, memory], 20)
+        assert memory.memory.read(0) == 1
+        assert source_words(port) == []
+
+    def test_slave_latency_delays_response(self):
+        from repro.protocol.messages import RequestMessage
+        port, conn_shell, memory, shell = self.make(latency=5)
+        request = RequestMessage(command=Command.READ, address=0, read_length=1,
+                                 trans_id=2)
+        self.feed_request(port, request)
+        run_ticks([conn_shell, shell, memory], 4)
+        assert source_words(port) == []
+        run_ticks([conn_shell, shell, memory], 20)
+        assert len(source_words(port)) == 2
+
+    def test_requires_slave_role_shell(self):
+        _, port = make_port()
+        master_shell = PointToPointShell("c", port, role="master")
+        with pytest.raises(ShellError):
+            SlaveShell("s", master_shell, MemorySlave("mem"))
+
+
+class TestConfigurationSlave:
+    def test_executes_register_writes_and_reads(self):
+        kernel = NIKernel("ni", Simulator(), num_slots=8)
+        kernel.add_channel()
+        slave = ConfigurationSlave(kernel)
+        address = channel_register_address(0, REG_SPACE)
+        slave.enqueue(Transaction.write(address, [12]))
+        txn, response = slave.pop_response()
+        assert response.ok
+        assert kernel.channel(0).space == 12
+        slave.enqueue(Transaction.read(address, 1))
+        _, response = slave.pop_response()
+        assert response.read_data == [12]
+        del txn
+
+    def test_invalid_register_reports_decode_error(self):
+        kernel = NIKernel("ni", Simulator(), num_slots=8)
+        kernel.add_channel()
+        slave = ConfigurationSlave(kernel)
+        slave.enqueue(Transaction.write(channel_register_address(5, REG_CTRL),
+                                        [1]))
+        _, response = slave.pop_response()
+        assert response.error == ResponseError.DECODE_ERROR
+
+
+class TestConfigShell:
+    def test_local_operations_execute_directly(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        kernel.add_channel()
+        shell = ConfigShell("cfg", local_kernel=kernel)
+        op = shell.write("local", channel_register_address(0, REG_CTRL),
+                         encode_ctrl(True, False))
+        read_op = shell.read("local", channel_register_address(0, REG_CTRL))
+        run_ticks([shell], 3)
+        assert op.done
+        assert kernel.channel(0).regs.enabled
+        assert read_op.done
+        assert read_op.result == encode_ctrl(True, False)
+        assert shell.is_idle()
+
+    def test_local_register_error_flagged(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        shell = ConfigShell("cfg", local_kernel=kernel)
+        op = shell.write("local", channel_register_address(3, REG_CTRL), 1)
+        run_ticks([shell], 2)
+        assert op.done and op.error
+
+    def test_remote_operation_without_shell_rejected(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        shell = ConfigShell("cfg", local_kernel=kernel)
+        shell.write("remote", 0, 1)
+        with pytest.raises(ShellError):
+            run_ticks([shell], 2)
+
+    def test_remote_operation_without_mapping_rejected(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        kernel.add_channel(cdc_cycles=0)
+        port = kernel.add_port("cfg", [0])
+        conn_shell = ConnectionShell("c", port, role="master")
+        shell = ConfigShell("cfg", local_kernel=kernel, shell=conn_shell)
+        shell.write("unknown_ni", 0, 1)
+        with pytest.raises(ShellError):
+            run_ticks([shell], 2)
+
+    def test_remote_write_is_sequentialized_as_mmio_message(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        kernel.add_channel(cdc_cycles=0)
+        port = kernel.add_port("cfg", [0])
+        conn_shell = ConnectionShell("c", port, role="master")
+        shell = ConfigShell("cfg", local_kernel=kernel, shell=conn_shell,
+                            remote_conns={"ni2": 0})
+        op = shell.write("ni2", 0x24, 7)
+        run_ticks([shell, conn_shell], 10)
+        words = port.channel(0).source_queue.pop_many(10)
+        message = request_from_words(words)
+        assert message.command == Command.WRITE_POSTED
+        assert message.address == 0x24
+        assert message.write_data == [7]
+        assert op.done       # posted writes complete at issue
+
+    def test_acknowledged_write_waits_for_response(self):
+        kernel = NIKernel("local", Simulator(), num_slots=8)
+        kernel.add_channel(cdc_cycles=0)
+        port = kernel.add_port("cfg", [0])
+        conn_shell = ConnectionShell("c", port, role="master")
+        shell = ConfigShell("cfg", local_kernel=kernel, shell=conn_shell,
+                            remote_conns={"ni2": 0})
+        op = shell.write("ni2", 0x24, 7, acknowledged=True)
+        follow_up = shell.write("ni2", 0x28, 8)
+        run_ticks([shell, conn_shell], 10)
+        assert not op.done
+        assert not shell.is_idle()
+        # Later operations are held back until the acknowledgement arrives.
+        words = port.channel(0).source_queue.pop_many(20)
+        assert len(words) == 3
+        ack = ResponseMessage(command=Command.WRITE, trans_id=0)
+        port.channel(0).dest_queue.push_many(ack.to_words())
+        run_ticks([conn_shell, shell], 10)
+        assert op.done
+        assert follow_up.done or not shell.is_idle()
+        del follow_up

@@ -1,0 +1,180 @@
+"""Unit tests for the statistics collectors and the tracer."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, LatencyRecorder, RateMeter, StatsRegistry
+from repro.sim.trace import Tracer
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0
+
+    def test_increment(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.increment(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        histogram = Histogram()
+        for sample in (2, 4, 6):
+            histogram.add(sample)
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.minimum == 2
+        assert histogram.maximum == 6
+        assert histogram.count == 3
+
+    def test_weighted_samples(self):
+        histogram = Histogram()
+        histogram.add(10, weight=3)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(10.0)
+
+    def test_percentile(self):
+        histogram = Histogram()
+        for sample in range(1, 101):
+            histogram.add(sample)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(100) == 100
+
+    def test_percentile_out_of_range(self):
+        histogram = Histogram()
+        histogram.add(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(150)
+
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.percentile(50) is None
+        assert math.isnan(histogram.mean)
+
+    def test_to_dict_sorted(self):
+        histogram = Histogram()
+        histogram.add(5)
+        histogram.add(1)
+        histogram.add(5)
+        assert histogram.to_dict() == {1: 1, 5: 2}
+
+
+class TestLatencyRecorder:
+    def test_records_latency(self):
+        recorder = LatencyRecorder()
+        recorder.record(10, 25)
+        recorder.record(20, 30)
+        assert recorder.count == 2
+        assert recorder.minimum == 10
+        assert recorder.maximum == 15
+        assert recorder.jitter == 5
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(10, 5)
+
+    def test_empty_jitter_is_none(self):
+        assert LatencyRecorder().jitter is None
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter()
+        for cycle in range(10):
+            meter.add(cycle, 2)
+        assert meter.items == 20
+        assert meter.rate_per_cycle(10) == pytest.approx(2.0)
+
+    def test_rate_over_observed_span(self):
+        meter = RateMeter()
+        meter.add(0, 1)
+        meter.add(9, 1)
+        assert meter.rate_per_cycle() == pytest.approx(0.2)
+
+    def test_throughput_conversion(self):
+        meter = RateMeter()
+        for cycle in range(100):
+            meter.add(cycle, 1)
+        # 1 word (32 bits) per cycle at 500 MHz = 16 Gbit/s.
+        assert meter.throughput_gbit_s(100, 500.0) == pytest.approx(16.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RateMeter().rate_per_cycle(0)
+
+
+class TestStatsRegistry:
+    def test_collectors_are_memoized(self):
+        registry = StatsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.latency("l") is registry.latency("l")
+        assert registry.rate("r") is registry.rate("r")
+
+    def test_summary_contains_all_collectors(self):
+        registry = StatsRegistry()
+        registry.counter("flits").increment(3)
+        registry.latency("lat").record(0, 7)
+        summary = registry.summary()
+        assert summary["counter.flits"] == 3
+        assert summary["latency.lat.max"] == 7
+
+
+class TestTracer:
+    def test_records_events(self):
+        tracer = Tracer()
+        tracer.record(100, "router", "forward", packet=1)
+        assert len(tracer.events) == 1
+        assert tracer.events[0].details["packet"] == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0, "x", "y")
+        assert tracer.events == []
+
+    def test_kind_filtering(self):
+        tracer = Tracer(kinds={"forward"})
+        tracer.record(0, "r", "forward")
+        tracer.record(0, "r", "drop")
+        assert len(tracer.events) == 1
+
+    def test_filter_query(self):
+        tracer = Tracer()
+        tracer.record(0, "a", "x")
+        tracer.record(0, "b", "x")
+        tracer.record(0, "a", "y")
+        assert len(tracer.filter(kind="x")) == 2
+        assert len(tracer.filter(source="a")) == 2
+        assert len(tracer.filter(kind="x", source="a")) == 1
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=2)
+        for _ in range(5):
+            tracer.record(0, "s", "k")
+        assert len(tracer.events) == 2
+
+    def test_listener_callback(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_listener(seen.append)
+        tracer.record(0, "s", "k")
+        assert len(seen) == 1
+
+    def test_dump_and_clear(self):
+        tracer = Tracer()
+        tracer.record(5, "src", "kind", a=1)
+        assert "src" in tracer.dump()
+        tracer.clear()
+        assert tracer.events == []
