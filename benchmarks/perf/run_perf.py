@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Tracked performance benchmark suite for the simulation engine.
+
+Times three scenarios under both engine modes — activity-driven (idle-skip
+clocks, the default) and always-tick (seed semantics) — and writes
+``BENCH_PERF.json`` so later PRs can regression-check the perf trajectory:
+
+* ``idle_mesh``      — a 4x4 mesh with 16 NIs and no traffic at all; the
+                       worst case for an always-tick engine and the best case
+                       for idle-skip.
+* ``saturated_mix``  — the E10-style GT+BE mix: several master/slave pairs
+                       whose traffic shares one inter-router link.
+* ``bus_vs_noc``     — the E13 comparison workload: a shared-bus baseline
+                       simulation plus a 1xN NoC carrying the same periodic
+                       writes.
+
+For every scenario the harness verifies that both engine modes produce an
+identical result fingerprint (statistics, latencies), then records median
+wall time and executed-event counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output PATH]
+
+``--quick`` shrinks cycle counts and repeats so the smoke test in the tier-1
+suite can exercise the harness in well under a second.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.baselines.bus import SharedBus
+from repro.config.connection import (
+    ChannelEndpointRef,
+    ChannelPairSpec,
+    ConnectionSpec,
+)
+from repro.core.shells.master import MasterShell
+from repro.core.shells.point_to_point import PointToPointShell
+from repro.core.shells.slave import SlaveShell
+from repro.design.generator import build_system
+from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
+from repro.ip.master import TrafficGeneratorMaster
+from repro.ip.slave import MemorySlave
+from repro.ip.traffic import ConstantBitRateTraffic
+from repro.sim.clock import always_tick
+from repro.testbench import build_gt_be_mix
+
+DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_PERF.json")
+
+
+def _normalize(obj):
+    """Make result fingerprints comparable (NaN == NaN for our purposes)."""
+    if isinstance(obj, float):
+        return "NaN" if math.isnan(obj) else obj
+    if isinstance(obj, dict):
+        return {key: _normalize(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(value) for value in obj]
+    return obj
+
+
+# --------------------------------------------------------------------------
+# Scenarios: each returns (fingerprint, executed_events)
+# --------------------------------------------------------------------------
+def scenario_idle_mesh(cycles: int) -> Tuple[object, int]:
+    """A 4x4 mesh, one NI per router, zero traffic."""
+    nis = [NISpec(name=f"ni{r}_{c}", router=(r, c),
+                  ports=[PortSpec(name="p", kind="master", shell=None,
+                                  channels=[ChannelSpec(8, 8)])])
+           for r in range(4) for c in range(4)]
+    spec = NoCSpec(name="idle_mesh", topology="mesh", rows=4, cols=4, nis=nis)
+    system = build_system(spec)
+    system.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        "now": system.sim.now,
+        "flits": system.noc.total_flits_forwarded(),
+    })
+    return fingerprint, system.sim.executed_events
+
+
+def scenario_saturated_mix(cycles: int) -> Tuple[object, int]:
+    """GT + BE pairs saturating one shared inter-router link (E10 shape)."""
+    tb = build_gt_be_mix(num_gt=2, num_be=2, gt_slots=2,
+                         gt_pattern_period=8, be_pattern_period=4,
+                         burst_words=4)
+    tb.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        pair.name: {
+            "latency": pair.master.latency_summary(),
+            "master": pair.master.stats.summary(),
+            "kernel": tb.system.kernel(pair.master_ni).stats.summary(),
+            "slave_kernel": tb.system.kernel(pair.slave_ni).stats.summary(),
+        }
+        for pair in tb.pairs
+    })
+    return fingerprint, tb.system.sim.executed_events
+
+
+def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
+                        ) -> Tuple[object, int]:
+    """The E13 workload: shared-bus baseline plus the equivalent 1xN NoC."""
+    bus = SharedBus.uniform(num_masters, period_cycles=64, burst_words=4)
+    bus_result = bus.simulate(max(cycles * 3, 1))
+
+    cols = num_masters + 1
+    ni_specs = []
+    for index in range(num_masters):
+        ni_specs.append(NISpec(
+            name=f"m{index}", router=(0, index),
+            ports=[PortSpec(name="p", kind="master", shell="p2p",
+                            channels=[ChannelSpec(8, 8)])]))
+        ni_specs.append(NISpec(
+            name=f"s{index}", router=(0, index + 1),
+            ports=[PortSpec(name="p", kind="slave", shell="p2p",
+                            channels=[ChannelSpec(8, 8)])]))
+    spec = NoCSpec(name="bus_vs_noc", topology="mesh", rows=1, cols=cols,
+                   nis=ni_specs)
+    system = build_system(spec)
+    configurator = system.functional_configurator()
+    for index in range(num_masters):
+        master_ni, slave_ni = f"m{index}", f"s{index}"
+        conn = PointToPointShell(f"{master_ni}_conn",
+                                 system.kernel(master_ni).port("p"),
+                                 role="master")
+        shell = MasterShell(f"{master_ni}_shell", conn)
+        pattern = ConstantBitRateTraffic(period_cycles=64, burst_words=4,
+                                         write=True, posted=True)
+        master = TrafficGeneratorMaster(f"{master_ni}_ip", shell,
+                                        pattern=pattern)
+        clock = system.port_clock(master_ni, "p")
+        for component in (master, shell, conn):
+            clock.add_component(component)
+        slave_conn = PointToPointShell(f"{slave_ni}_conn",
+                                       system.kernel(slave_ni).port("p"),
+                                       role="slave")
+        memory = MemorySlave(f"{slave_ni}_mem")
+        slave_shell = SlaveShell(f"{slave_ni}_shell", slave_conn, memory)
+        slave_clock = system.port_clock(slave_ni, "p")
+        for component in (slave_conn, slave_shell, memory):
+            slave_clock.add_component(component)
+        configurator.open_connection(system.noc, ConnectionSpec(
+            name=f"c{index}", kind="p2p",
+            pairs=[ChannelPairSpec(master=ChannelEndpointRef(master_ni, 0),
+                                   slave=ChannelEndpointRef(slave_ni, 0))]))
+    system.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        "bus": bus_result.as_row(),
+        "noc": {name: kernel.stats.summary()
+                for name, kernel in system.kernels.items()},
+    })
+    return fingerprint, system.sim.executed_events
+
+
+SCENARIOS: Dict[str, Callable[[int], Tuple[object, int]]] = {
+    "idle_mesh": scenario_idle_mesh,
+    "saturated_mix": scenario_saturated_mix,
+    "bus_vs_noc": scenario_bus_vs_noc,
+}
+
+#: Flit cycles per scenario: (full, quick).
+CYCLES = {
+    "idle_mesh": (20000, 1500),
+    "saturated_mix": (4000, 400),
+    "bus_vs_noc": (2500, 400),
+}
+
+
+# --------------------------------------------------------------------------
+# Harness
+# --------------------------------------------------------------------------
+def _time_runs(func: Callable[[int], Tuple[object, int]], cycles: int,
+               repeats: int) -> Dict[str, object]:
+    walls = []
+    fingerprint = None
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fingerprint, events = func(cycles)
+        walls.append(time.perf_counter() - start)
+    return {
+        "median_wall_s": statistics.median(walls),
+        "wall_s_runs": walls,
+        "executed_events": events,
+        "fingerprint": fingerprint,
+    }
+
+
+def run_suite(quick: bool, repeats: int) -> Dict[str, object]:
+    report: Dict[str, object] = {
+        "generated_by": "benchmarks/perf/run_perf.py",
+        "quick": quick,
+        "repeats": repeats,
+        "scenarios": {},
+    }
+    for name, func in SCENARIOS.items():
+        cycles = CYCLES[name][1 if quick else 0]
+        active = _time_runs(func, cycles, repeats)
+        with always_tick():
+            baseline = _time_runs(func, cycles, repeats)
+        identical = active["fingerprint"] == baseline["fingerprint"]
+        for run in (active, baseline):
+            del run["fingerprint"]  # results compared, not archived
+        events_ratio = (baseline["executed_events"]
+                        / max(active["executed_events"], 1))
+        speedup = (baseline["median_wall_s"]
+                   / max(active["median_wall_s"], 1e-9))
+        report["scenarios"][name] = {
+            "flit_cycles": cycles,
+            "activity": active,
+            "always_tick": baseline,
+            "results_identical": identical,
+            "event_reduction": events_ratio,
+            "wall_speedup": speedup,
+        }
+        print(f"{name:>14}: events {active['executed_events']:>9} vs "
+              f"{baseline['executed_events']:>9} always-tick "
+              f"({events_ratio:7.1f}x fewer), wall "
+              f"{active['median_wall_s'] * 1e3:8.1f} ms vs "
+              f"{baseline['median_wall_s'] * 1e3:8.1f} ms "
+              f"({speedup:5.2f}x), identical={identical}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small cycle counts / single repeat (smoke test)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per scenario (median is kept)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.quick else 3)
+    report = run_suite(quick=args.quick, repeats=repeats)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    mismatches = [name for name, entry in report["scenarios"].items()
+                  if not entry["results_identical"]]
+    if mismatches:
+        print(f"ERROR: result mismatch between engine modes in: {mismatches}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

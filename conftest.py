@@ -1,7 +1,9 @@
 """Repository-level pytest configuration.
 
 Makes the ``src`` layout importable even when the package has not been
-installed (useful for running the test suite directly from a checkout).
+installed (useful for running the test suite directly from a checkout), and
+registers the ``slow`` marker so the fast tier can be selected with
+``-m "not slow"``.
 """
 
 import os
@@ -10,3 +12,9 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running perf/benchmark tests (deselect with -m \"not slow\")")

@@ -14,6 +14,7 @@ setup(
                  "(Radulescu et al., DATE 2004)"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # 3.10+: the hot-path packet/flit dataclasses use dataclass(slots=True).
+    python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
 )

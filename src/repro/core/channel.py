@@ -18,7 +18,7 @@ state the kernel needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.queues import HardwareFifo
 from repro.sim.engine import Simulator
@@ -67,6 +67,39 @@ class Channel:
         self.flush_pending = False
         self._flush_words_remaining = 0
         self.stats = StatsRegistry()
+        #: Wake hook toward the kernel (transmit side): fires on any stimulus
+        #: that could make this channel schedulable (source words, credits,
+        #: space, flush).  Set by :meth:`NIKernel.add_channel`.
+        self._tx_wake: Optional[Callable[[], None]] = None
+        #: Wake hooks toward the IP-side reader (receive side): fire when the
+        #: kernel deposits words in the destination queue.  Registered by the
+        #: connection shell reading this channel.
+        self._rx_listeners: List[Callable[[], None]] = []
+        self.source_queue.on_push = self._notify_tx
+        self.dest_queue.on_push = self.notify_rx
+
+    # ------------------------------------------------------------ wake hooks
+    def set_tx_wake(self, callback: Callable[[], None]) -> None:
+        """Install the transmit-side wake hook (called by the owning kernel)."""
+        self._tx_wake = callback
+        # Skip the _notify_tx indirection on the per-word push path.
+        self.source_queue.on_push = callback
+
+    def add_rx_listener(self, callback: Callable[[], None]) -> None:
+        """Register a receive-side wake hook (called by the reading shell)."""
+        self._rx_listeners.append(callback)
+        # One listener is the overwhelmingly common case: bind it directly.
+        self.dest_queue.on_push = (callback if len(self._rx_listeners) == 1
+                                   else self.notify_rx)
+
+    def _notify_tx(self) -> None:
+        callback = self._tx_wake
+        if callback is not None:
+            callback()
+
+    def notify_rx(self) -> None:
+        for callback in self._rx_listeners:
+            callback()
 
     # -------------------------------------------------------------- counters
     @property
@@ -84,6 +117,7 @@ class Channel:
         if credits < 0:
             raise FlowControlError(f"channel {self.name}: negative credits")
         self.space += credits
+        self._notify_tx()
 
     def consume_space(self, words: int) -> None:
         if words > self.space:
@@ -95,6 +129,7 @@ class Channel:
     def add_credit(self, words: int = 1) -> None:
         """The local IP consumed words from the destination queue."""
         self.credit += words
+        self._notify_tx()
 
     def take_credits(self, maximum: int) -> int:
         """Remove up to ``maximum`` credits for piggybacking in a header."""
@@ -113,6 +148,7 @@ class Channel:
         """
         self.flush_pending = True
         self._flush_words_remaining = self.source_queue.total_fill
+        self._notify_tx()
 
     def note_words_sent(self, words: int) -> None:
         if not self.flush_pending:
@@ -134,6 +170,33 @@ class Channel:
         if self.flush_pending:
             return True
         if sendable > 0 and sendable >= self.regs.data_threshold:
+            return True
+        if credits > 0 and credits >= self.regs.credit_threshold:
+            return True
+        return False
+
+    def potentially_active(self) -> bool:
+        """Conservative transmit-side activity predicate for idle-skip.
+
+        Mirrors :meth:`eligible` but counts *all* queued source words
+        (``total_fill``, including words still crossing the clock-domain
+        boundary): a word that is queued but not yet synchronized will become
+        sendable purely through the passage of time, without any further
+        stimulus, so the kernel must keep ticking to observe it.  Must be
+        True whenever :meth:`eligible` is, or could become, True without a
+        new wake-triggering stimulus.
+        """
+        if not self.regs.enabled:
+            return False
+        potential = self.source_queue.total_fill
+        if self.space < potential:
+            potential = self.space
+        credits = self.credit
+        if potential <= 0 and credits <= 0:
+            return False
+        if self.flush_pending:
+            return True
+        if potential > 0 and potential >= self.regs.data_threshold:
             return True
         if credits > 0 and credits >= self.regs.credit_threshold:
             return True

@@ -121,6 +121,7 @@ class NIKernel(ClockedComponent):
                           sim=self.sim,
                           source_cdc_delay_ps=cdc_cycles * self.flit_period_ps,
                           dest_cdc_delay_ps=cdc_cycles * reader_period)
+        channel.set_tx_wake(self.notify_active)
         self.channels.append(channel)
         return channel
 
@@ -180,6 +181,28 @@ class NIKernel(ClockedComponent):
         self._receive(cycle)
         self._transmit(cycle)
 
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip (see PERFORMANCE.md).
+
+        The kernel is busy while it has partially transmitted packets, flits
+        arriving from the network, any channel that is (or can become without
+        new stimulus) schedulable — or any reserved TDM slot: an unused
+        reserved slot is *observed* every cycle (the ``gt_slots_unused``
+        counter), so a kernel with reservations must keep ticking to match
+        always-tick statistics exactly.
+        """
+        if self._gt_flits or self._be_flits:
+            return False
+        if self.slot_table.has_reservations:
+            return False
+        from_network = self.from_network
+        if from_network is not None and from_network.occupancy:
+            return False
+        for channel in self.channels:
+            if channel.potentially_active():
+                return False
+        return True
+
     # --------------------------------------------------------------- receive
     def _receive(self, cycle: int) -> None:
         if self.from_network is None:
@@ -204,6 +227,7 @@ class NIKernel(ClockedComponent):
                 raise FlowControlError(
                     f"{self.name}: destination queue of channel {qid} overflowed "
                     f"(end-to-end flow control violated)")
+            # dest_queue.on_push wakes the IP-side reader's clock domain.
             channel.dest_queue.push(word)
         if words:
             self.stats.counter("words_received").increment(len(words))
@@ -349,6 +373,7 @@ class NIKernel(ClockedComponent):
                 self.channel(channel_index)  # bounds check
                 self.slot_table.release(slot)
                 self.slot_table.reserve(slot, channel_index)
+            self.notify_active()
             return
         channel_index, register = divmod(address, CHANNEL_REG_STRIDE)
         channel = self.channel(channel_index)
@@ -372,6 +397,7 @@ class NIKernel(ClockedComponent):
             raise RegisterError(f"{self.name}: REG_STATUS is read-only")
         else:  # pragma: no cover - unreachable with valid stride
             raise RegisterError(f"{self.name}: unknown register {register}")
+        self.notify_active()
         self.tracer.record(self.sim.now, self.name, "register_write",
                            address=address, value=value)
 

@@ -12,6 +12,12 @@ shells push message words into the source queues and pop message words from
 the destination queues.  Popping a word is the moment the IP consumes data,
 so it produces a credit to be returned to the producer (end-to-end flow
 control).
+
+Wake-up protocol: every mutation reachable through this port revives the
+kernel's (activity-driven) clock automatically — pushes via the source
+queue's ``on_push`` hook, pops via :meth:`~repro.core.channel.Channel.add_credit`,
+flushes via :meth:`~repro.core.channel.Channel.request_flush` — so shell
+authors never call :meth:`Clock.wake` themselves.  See PERFORMANCE.md.
 """
 
 from __future__ import annotations

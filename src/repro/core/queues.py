@@ -15,7 +15,7 @@ behaviour:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -41,6 +41,10 @@ class HardwareFifo:
         self.total_pushed = 0
         self.total_popped = 0
         self.max_fill_seen = 0
+        #: Called after every push; the activity-driven engine hangs clock
+        #: wake-ups here so writing into a FIFO revives its reader even when
+        #: the write bypasses the port API (tests poke queues directly).
+        self.on_push: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ time
     def _now(self) -> int:
@@ -67,6 +71,8 @@ class HardwareFifo:
         self.total_pushed += 1
         if len(self._items) > self.max_fill_seen:
             self.max_fill_seen = len(self._items)
+        if self.on_push is not None:
+            self.on_push()
 
     def push_many(self, words: List[int]) -> None:
         if not self.can_push(len(words)):

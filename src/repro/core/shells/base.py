@@ -69,6 +69,10 @@ class ConnectionShell(ClockedComponent):
         #: Fully reassembled messages ready for the adapter above.
         self._rx_ready: Deque[Tuple[Message, int]] = deque()
         self._rx_current_conn: Optional[int] = None
+        # Wake this shell's clock whenever the kernel deposits words in any
+        # destination queue this shell reads (activity-driven scheduling).
+        for conn in range(port.num_connections):
+            port.channel(conn).add_rx_listener(self.notify_active)
 
     # ----------------------------------------------------------- upward API
     def can_submit(self) -> bool:
@@ -86,6 +90,7 @@ class ConnectionShell(ClockedComponent):
         self._tx_queue.append((conns, list(message.to_words())))
         self._on_submitted(message, conns)
         self.stats.counter("messages_submitted").increment()
+        self.notify_active()
         return True
 
     def poll(self) -> Optional[Tuple[Message, int]]:
@@ -103,6 +108,25 @@ class ConnectionShell(ClockedComponent):
     def idle(self) -> bool:
         return (not self._tx_queue and not self._rx_ready
                 and not any(self._rx_partial.values()))
+
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip.
+
+        Busy while there are words to stream out, reassembled messages the
+        adapter above has not polled, a partially reassembled message, or
+        destination-queue words (including words still crossing the clock
+        boundary, which become readable purely through the passage of time).
+        """
+        if self._tx_queue or self._rx_ready:
+            return False
+        for buffer in self._rx_partial.values():
+            if buffer:
+                return False
+        port = self.port
+        for conn in range(port.num_connections):
+            if port.channel(conn).dest_queue.total_fill:
+                return False
+        return True
 
     def request_flush(self, conn: int = 0) -> None:
         """Raise the per-channel flush signal (Section 4.1)."""

@@ -59,6 +59,9 @@ class ConfigurationSlave:
             return self._responses.popleft()
         return None
 
+    def idle(self) -> bool:
+        return not self._responses
+
     def execute(self, transaction: Transaction) -> TransactionResponse:
         """Execute one MMIO transaction against the kernel register file."""
         try:
@@ -129,17 +132,25 @@ class ConfigShell(ClockedComponent):
               acknowledged: bool = False) -> ConfigOperation:
         op = ConfigOperation(target_ni, address, value, acknowledged)
         self._queue.append(op)
+        self.notify_active()
         return op
 
     def read(self, target_ni: str, address: int) -> ConfigOperation:
         op = ConfigOperation(target_ni, address, None, acknowledged=True)
         self._queue.append(op)
+        self.notify_active()
         return op
 
     def add_remote(self, ni_name: str, conn: int) -> None:
         self.remote_conns[ni_name] = conn
 
     def is_idle(self) -> bool:
+        """No operation queued or awaiting acknowledgement.
+
+        Doubles as the idle-skip activity predicate: the shell keeps its
+        clock running (conservatively) until every queued operation has been
+        issued and every acknowledged one has seen its response.
+        """
         return not self._queue and not self._in_flight
 
     @property

@@ -78,6 +78,7 @@ class MasterShell(ClockedComponent):
         transaction.trans_id = self._allocate_trans_id()
         self._pending.append((issue_cycle + self.seq_latency_cycles, transaction))
         self.stats.counter("transactions_submitted").increment()
+        self.notify_active()
         return True
 
     def poll_completed(self) -> List[Transaction]:
@@ -92,6 +93,17 @@ class MasterShell(ClockedComponent):
 
     def idle(self) -> bool:
         return not self._pending and not self._outstanding and self.shell.idle()
+
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip.
+
+        Busy while requests await their sequentialization delay or completed
+        transactions await collection by the IP.  Outstanding transactions do
+        *not* keep the clock running: the response's arrival revives the
+        connection shell (same clock domain), which in turn keeps this shell
+        ticking until the completion is handed upward.
+        """
+        return not self._pending and not self._completed
 
     def request_flush(self) -> None:
         """Propagate a flush request to the kernel (prevents starvation when

@@ -112,5 +112,15 @@ class SlaveShell(ClockedComponent):
         return (not self._awaiting_response and not self._response_backlog
                 and self.shell.idle())
 
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip.
+
+        Conservatively busy while any accepted request still awaits its
+        response from the slave IP — the slave may be an unclocked immediate
+        executor (e.g. the CNIP register file), in which case nothing else
+        would keep this clock running until the response is drained.
+        """
+        return not self._awaiting_response and not self._response_backlog
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"SlaveShell({self.name}, protocol={self.protocol})"

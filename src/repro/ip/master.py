@@ -40,6 +40,7 @@ class TrafficGeneratorMaster(ClockedComponent):
     def issue(self, transaction: Transaction) -> None:
         """Explicitly queue one transaction (in addition to the pattern)."""
         self._backlog.append(transaction)
+        self.notify_active()
 
     def issue_many(self, transactions: List[Transaction]) -> None:
         for transaction in transactions:
@@ -65,6 +66,17 @@ class TrafficGeneratorMaster(ClockedComponent):
         self._generate(cycle)
         self._submit(cycle)
         self._collect(cycle)
+
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip.
+
+        Busy while the traffic pattern can still generate transactions (the
+        pattern is cycle-indexed, so the generator must observe every cycle
+        until it is exhausted) or explicitly issued transactions await
+        submission.  Completions are collected while the shells below keep
+        the shared clock awake.
+        """
+        return not self._backlog and self._pattern_exhausted()
 
     def _generate(self, cycle: int) -> None:
         if self.pattern is None:

@@ -63,6 +63,7 @@ class MemorySlave(SlaveIP):
         ready = self._cycle + self.latency_cycles
         self._pending.append((ready, transaction))
         self._enqueued += 1
+        self.notify_active()
 
     def pop_response(self) -> Optional[Tuple[Transaction, TransactionResponse]]:
         if self._done:
@@ -70,6 +71,10 @@ class MemorySlave(SlaveIP):
         return None
 
     def idle(self) -> bool:
+        return not self._pending and not self._done
+
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip: nothing queued, nothing to drain."""
         return not self._pending and not self._done
 
     # ----------------------------------------------------------------- clock
@@ -112,11 +117,19 @@ class RegisterSlave(SlaveIP):
 
     def enqueue(self, transaction: Transaction) -> None:
         self._done.append((transaction, self._execute(transaction)))
+        self.notify_active()
 
     def pop_response(self) -> Optional[Tuple[Transaction, TransactionResponse]]:
         if self._done:
             return self._done.popleft()
         return None
+
+    def idle(self) -> bool:
+        return not self._done
+
+    def is_idle(self) -> bool:
+        """Activity predicate for idle-skip: no responses awaiting drainage."""
+        return not self._done
 
     def _execute(self, transaction: Transaction) -> TransactionResponse:
         top = transaction.address + max(transaction.read_length,

@@ -81,6 +81,10 @@ class Link(ClockedComponent):
             self.gt_flits_carried += 1
         else:
             self.be_flits_carried += 1
+        # A link is registered on the same clock as its sink (wake-up
+        # protocol contract): keeping this clock awake until the flit is
+        # staged and consumed is what delivers it to an otherwise-idle sink.
+        self.notify_active()
 
     # ------------------------------------------------------------- receiving
     def peek(self) -> Optional[Flit]:
@@ -100,6 +104,10 @@ class Link(ClockedComponent):
                (1 if self._incoming is not None else 0)
 
     # ----------------------------------------------------------------- clock
+    def is_idle(self) -> bool:
+        """Idle when both register stages are empty."""
+        return self._stage is None and self._incoming is None
+
     def post_tick(self, cycle: int) -> None:
         if self._incoming is not None:
             if self._stage is not None:

@@ -34,9 +34,10 @@ class PacketError(ValueError):
     """Raised for malformed packets (empty route, oversized credit field...)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketHeader:
-    """The one-word packet header.
+    """The one-word packet header.  Slotted: one header exists per packet on
+    the hot path, and the engine creates millions of them.
 
     Attributes
     ----------
@@ -78,6 +79,9 @@ class PacketHeader:
 
 class Packet:
     """A packet: one header word plus ``payload`` data words."""
+
+    __slots__ = ("header", "payload", "injected_cycle", "delivered_cycle",
+                 "_route_pos", "packet_id")
 
     _next_id = 0
 
@@ -135,9 +139,14 @@ class Packet:
                 f"words={self.total_words}, credits={self.header.credits})")
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
-    """A fragment of a packet occupying one TDM slot on a link."""
+    """A fragment of a packet occupying one TDM slot on a link.
+
+    Slotted: flits are the most frequently allocated objects in a saturated
+    simulation (one per three payload words per hop), so they carry no
+    per-instance ``__dict__``.
+    """
 
     packet: Packet
     index: int

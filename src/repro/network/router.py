@@ -105,6 +105,18 @@ class Router(ClockedComponent):
         self._accept_incoming(cycle)
         self._forward(cycle)
 
+    def is_idle(self) -> bool:
+        """Idle when no flit is buffered at any input.
+
+        Flits still inside an attached link keep that link's clock awake (a
+        link shares its sink's clock), so the router will be ticked to accept
+        them; it does not need to inspect the links here.
+        """
+        for state in self._inputs:
+            if state.gt_queue or state.be_queue:
+                return False
+        return True
+
     # -------------------------------------------------------------- incoming
     def _accept_incoming(self, cycle: int) -> None:
         for port, link in enumerate(self.in_links):

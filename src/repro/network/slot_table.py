@@ -31,6 +31,7 @@ class SlotTable:
             raise SlotTableError(f"slot table size must be positive, got {size}")
         self.size = size
         self._entries: List[Optional[Hashable]] = [None] * size
+        self._reserved = 0
 
     # -------------------------------------------------------------- mutation
     def reserve(self, slot: int, owner: Hashable) -> None:
@@ -43,10 +44,14 @@ class SlotTable:
             raise SlotTableError(
                 f"slot {slot} already reserved for {current!r}, "
                 f"cannot reserve for {owner!r}")
+        if current is None:
+            self._reserved += 1
         self._entries[slot] = owner
 
     def release(self, slot: int) -> None:
         self._check_slot(slot)
+        if self._entries[slot] is not None:
+            self._reserved -= 1
         self._entries[slot] = None
 
     def release_owner(self, owner: Hashable) -> int:
@@ -56,10 +61,12 @@ class SlotTable:
             if current == owner:
                 self._entries[slot] = None
                 freed += 1
+        self._reserved -= freed
         return freed
 
     def clear(self) -> None:
         self._entries = [None] * self.size
+        self._reserved = 0
 
     # --------------------------------------------------------------- queries
     def owner(self, slot: int) -> Optional[Hashable]:
@@ -69,6 +76,11 @@ class SlotTable:
     def is_free(self, slot: int) -> bool:
         return self.owner(slot) is None
 
+    @property
+    def has_reservations(self) -> bool:
+        """True when any slot is reserved (O(1); used by kernel idle-skip)."""
+        return self._reserved > 0
+
     def slots_of(self, owner: Hashable) -> List[int]:
         return [s for s, o in enumerate(self._entries) if o == owner]
 
@@ -77,8 +89,7 @@ class SlotTable:
 
     def occupancy(self) -> float:
         """Fraction of slots reserved."""
-        used = sum(1 for o in self._entries if o is not None)
-        return used / self.size
+        return self._reserved / self.size
 
     def entries(self) -> List[Optional[Hashable]]:
         return list(self._entries)
@@ -86,6 +97,7 @@ class SlotTable:
     def copy(self) -> "SlotTable":
         table = SlotTable(self.size)
         table._entries = list(self._entries)
+        table._reserved = self._reserved
         return table
 
     # --------------------------------------------------------------- service

@@ -10,7 +10,13 @@ frequencies (the paper allows every NI port to run at its own frequency) stay
 exact and deterministic.
 """
 
-from repro.sim.clock import Clock, ClockedComponent
+from repro.sim.clock import (
+    Clock,
+    ClockedComponent,
+    always_tick,
+    run_cycles,
+    set_default_idle_skip,
+)
 from repro.sim.engine import Event, Simulator
 from repro.sim.stats import (
     Counter,
@@ -24,6 +30,9 @@ from repro.sim.trace import TraceEvent, Tracer
 __all__ = [
     "Clock",
     "ClockedComponent",
+    "always_tick",
+    "run_cycles",
+    "set_default_idle_skip",
     "Counter",
     "Event",
     "Histogram",

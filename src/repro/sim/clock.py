@@ -1,4 +1,4 @@
-"""Clock domains for the cycle model.
+"""Clock domains for the cycle model — activity-driven.
 
 Every NI port may run at its own frequency (Section 4.1 of the paper: the
 hardware FIFOs implement the clock-domain crossing).  A :class:`Clock` fires a
@@ -7,32 +7,118 @@ registered :class:`ClockedComponent`, then ``post_tick(cycle)`` on every
 component that implements it.  The two-phase tick keeps same-edge evaluation
 order-insensitive: components read state and compute in ``tick`` and commit
 externally visible updates in ``post_tick``.
+
+Activity-driven scheduling
+--------------------------
+
+A cycle-accurate model that ticks every component every period spends almost
+all of its wall time doing nothing when the network is idle.  Clocks therefore
+stop rescheduling themselves when every registered component reports
+:meth:`ClockedComponent.is_idle`, and resume on an explicit
+:meth:`Clock.wake` — delivered through :meth:`ClockedComponent.notify_active`
+by whatever injects new stimulus (a port accepting a message, a link carrying
+a flit, a configuration register write).
+
+The wake-up contract (see ``PERFORMANCE.md`` for the full protocol):
+
+* ``is_idle()`` may return True only when ``tick``/``post_tick`` would be
+  observable no-ops (no state change, no statistics) *and* the component can
+  only become active again through a stimulus that calls ``notify_active()``.
+  The conservative default is False (always active), which reproduces the
+  seed's always-tick behaviour for components that have not opted in.
+* A woken clock fires its next edge at the first period boundary *strictly
+  after* the wake time.  Coincident edges of different clocks execute in
+  clock-creation order (each clock owns a distinct tick priority), so a
+  clock created before its stimulators — as the flit clock is, and as any
+  clock receiving immediately visible cross-domain stimulus must be — had
+  already run its edge at the stimulus timestamp and observed the
+  pre-stimulus state; the first edge that can react is the next one.
+* Cycle indices are derived from simulation time (``(now - epoch) // period``)
+  so TDMA slot alignment is preserved across skipped edges.
+* A link must be registered on the same clock as its sink: the link's
+  non-idleness is what keeps the sink ticking until the flit is consumed.
+
+Setting ``idle_skip=False`` on a clock (or globally via
+:func:`set_default_idle_skip` / the :func:`always_tick` context manager)
+restores the seed's unconditional rescheduling; benchmarks and the
+determinism tests use this to compare both modes.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import contextlib
+from typing import Iterator, List, Optional
 
 from repro.sim.engine import SimulationError, Simulator
 
-#: Priority used for tick callbacks; post_tick runs at a later priority on the
-#: same timestamp so all ticks of a timestamp complete before any commit.
-_TICK_PRIORITY = 0
-_POST_TICK_PRIORITY = 10
+#: Each clock's tick callbacks run at a distinct priority allocated in clock
+#: creation order (see ``Simulator.next_clock_priority``), so coincident edges
+#: of different clocks always execute earliest-created first — in both engine
+#: modes.  post_tick commits run above this base on the same timestamp so all
+#: ticks of a timestamp complete before any commit.
+_POST_TICK_PRIORITY_BASE = 1 << 20
+
+#: Module-wide default for ``Clock.idle_skip`` (benchmarks flip it to measure
+#: the always-tick baseline).
+_DEFAULT_IDLE_SKIP = True
+
+
+def set_default_idle_skip(enabled: bool) -> bool:
+    """Set the default ``idle_skip`` for newly created clocks.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _DEFAULT_IDLE_SKIP
+    previous = _DEFAULT_IDLE_SKIP
+    _DEFAULT_IDLE_SKIP = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def always_tick() -> Iterator[None]:
+    """Context manager: clocks built inside it use seed (always-tick) mode."""
+    previous = set_default_idle_skip(False)
+    try:
+        yield
+    finally:
+        set_default_idle_skip(previous)
 
 
 class ClockedComponent:
     """Base class for anything driven by a :class:`Clock`.
 
     Subclasses override :meth:`tick` (compute phase) and optionally
-    :meth:`post_tick` (commit phase).
+    :meth:`post_tick` (commit phase).  Components that can be quiescent
+    additionally override :meth:`is_idle` and arrange for every stimulus
+    that can end the quiescence to call :meth:`notify_active`.
     """
+
+    #: Back-reference set by :meth:`Clock.add_component`; gives the component
+    #: a wake handle without threading the clock through every constructor.
+    _clock: Optional["Clock"] = None
 
     def tick(self, cycle: int) -> None:  # pragma: no cover - interface default
         """Compute phase of the clock edge."""
 
     def post_tick(self, cycle: int) -> None:  # pragma: no cover - default
         """Commit phase of the clock edge."""
+
+    def is_idle(self) -> bool:
+        """True when ticking this component is an observable no-op.
+
+        The default is False: components that have not implemented the
+        activity protocol keep their clock running every cycle, exactly as
+        the seed engine did.
+        """
+        return False
+
+    def notify_active(self) -> None:
+        """Wake this component's clock (no-op when unclocked or awake)."""
+        # Inline the sleeping check: stimulus arrives on hot paths (every
+        # word pushed, every flit sent) and the clock is usually awake.
+        clock = self._clock
+        if clock is not None and clock._sleeping:
+            clock.wake()
 
 
 class Clock:
@@ -49,10 +135,14 @@ class Clock:
         Human-readable name used in traces and error messages.
     phase_ps:
         Offset of the first rising edge.
+    idle_skip:
+        When True (the default, see :func:`set_default_idle_skip`) the clock
+        stops self-rescheduling while every component is idle and resumes on
+        :meth:`wake`.  When False the clock reschedules unconditionally.
     """
 
     def __init__(self, sim: Simulator, frequency_mhz: float, name: str = "clk",
-                 phase_ps: int = 0) -> None:
+                 phase_ps: int = 0, idle_skip: Optional[bool] = None) -> None:
         if frequency_mhz <= 0:
             raise SimulationError(f"clock {name}: frequency must be positive")
         self.sim = sim
@@ -62,22 +152,61 @@ class Clock:
         if self.period_ps <= 0:
             raise SimulationError(f"clock {name}: period rounds to 0 ps")
         self.phase_ps = int(phase_ps)
+        self.idle_skip = (_DEFAULT_IDLE_SKIP if idle_skip is None
+                          else bool(idle_skip))
+        #: Coincident edges of different clocks run earliest-created first;
+        #: a clock receiving immediately visible cross-domain stimulus (the
+        #: flit clock: credits, flushes, register writes) must therefore be
+        #: created before the clocks that stimulate it — which the system
+        #: builders do.  This makes the strictly-after wake-up exact.
+        self._tick_priority = sim.next_clock_priority()
+        self._commit_priority = _POST_TICK_PRIORITY_BASE + self._tick_priority
         self._cycle = -1
         self._components: List[ClockedComponent] = []
+        self._post_tick_components: List[ClockedComponent] = []
         self._started = False
+        self._epoch = 0
+        self._sleeping = False
+        #: Edges actually executed (telemetry for the perf harness).
+        self.edges_executed = 0
+        #: Number of times the clock went to sleep.
+        self.sleep_count = 0
 
     # ---------------------------------------------------------------- wiring
     def add_component(self, component: ClockedComponent) -> None:
         """Register a component; tick order follows registration order."""
         self._components.append(component)
+        component._clock = self
+        if type(component).post_tick is not ClockedComponent.post_tick:
+            self._post_tick_components.append(component)
+        # A component added to a sleeping clock must get a chance to tick;
+        # the next edge re-evaluates idleness and re-sleeps if warranted.
+        if self._sleeping:
+            self.wake()
 
     def remove_component(self, component: ClockedComponent) -> None:
         self._components.remove(component)
+        if component in self._post_tick_components:
+            self._post_tick_components.remove(component)
+        if component._clock is self:
+            component._clock = None
 
     @property
     def cycle(self) -> int:
-        """Index of the most recent rising edge (-1 before the first edge)."""
+        """Index of the most recent executed rising edge (-1 before the
+        first edge).  With idle-skip, skipped edge instants do not appear
+        here; indices stay aligned to the time grid regardless."""
         return self._cycle
+
+    @property
+    def epoch_ps(self) -> int:
+        """Time of edge 0 (valid once the clock has started)."""
+        return self._epoch
+
+    @property
+    def sleeping(self) -> bool:
+        """True while the clock has stopped self-rescheduling."""
+        return self._sleeping
 
     @property
     def bandwidth_gbit_s(self) -> float:
@@ -90,38 +219,104 @@ class Clock:
     def ps_to_cycles(self, ps: int) -> int:
         return ps // self.period_ps
 
+    def edge_time(self, index: int) -> int:
+        """Absolute time of edge ``index`` (the clock must have started)."""
+        return self._epoch + index * self.period_ps
+
     # --------------------------------------------------------------- running
     def start(self) -> None:
         """Schedule the first rising edge.  Idempotent."""
         if self._started:
             return
         self._started = True
-        first = max(self.sim.now, self.phase_ps)
-        self.sim.schedule_at(first, self._edge, priority=_TICK_PRIORITY)
+        self._epoch = max(self.sim.now, self.phase_ps)
+        self._sleeping = False
+        self.sim.schedule_at(self._epoch, self._edge,
+                             priority=self._tick_priority)
+
+    def wake(self) -> None:
+        """Resume an idle-skipped clock.
+
+        The next edge fires at the first period boundary strictly after the
+        current simulation time — the first edge that can observe the
+        stimulus that triggered the wake.  Because coincident edges run in
+        clock-creation order, a clock created before its stimulators would
+        have ticked before the stimulus at the wake timestamp anyway, so
+        this reproduces the always-tick schedule exactly.  No-op when the
+        clock is not sleeping.
+        """
+        if not self._sleeping:
+            return
+        self._sleeping = False
+        index = (self.sim.now - self._epoch) // self.period_ps + 1
+        self.sim._push(self.edge_time(index), self._tick_priority, self._edge)
 
     def _edge(self) -> None:
-        self._cycle += 1
-        cycle = self._cycle
-        for component in list(self._components):
+        # Derive the cycle index from time so TDMA slot alignment survives
+        # skipped edges (an NI slot is `cycle % num_slots`).
+        cycle = (self.sim.now - self._epoch) // self.period_ps
+        self._cycle = cycle
+        self.edges_executed += 1
+        for component in self._components:
             component.tick(cycle)
-        self.sim.schedule_at(self.sim.now, self._commit_edge,
-                             priority=_POST_TICK_PRIORITY)
-        self.sim.schedule(self.period_ps, self._edge, priority=_TICK_PRIORITY)
+        if self._post_tick_components:
+            self.sim._push(self.sim.now, self._commit_priority,
+                           self._commit_edge)
+        else:
+            # No component commits anything: skip the commit event entirely.
+            self._after_edge()
 
     def _commit_edge(self) -> None:
         cycle = self._cycle
-        for component in list(self._components):
+        for component in self._post_tick_components:
             component.post_tick(cycle)
+        self._after_edge()
+
+    def _after_edge(self) -> None:
+        """Reschedule the next edge — or go to sleep if everything is idle.
+
+        Runs after the commit phase so idleness reflects post_tick state
+        (e.g. a link that just staged a flit is not idle).
+        """
+        if self.idle_skip:
+            for component in self._components:
+                if not component.is_idle():
+                    break
+            else:
+                self._sleeping = True
+                self.sleep_count += 1
+                return
+        self.sim._push(self.edge_time(self._cycle + 1), self._tick_priority,
+                       self._edge)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"Clock({self.name}, {self.frequency_mhz} MHz)"
+        state = "sleeping" if self._sleeping else "running"
+        return f"Clock({self.name}, {self.frequency_mhz} MHz, {state})"
 
 
 def run_cycles(sim: Simulator, clock: Clock, cycles: int) -> None:
-    """Convenience: run the simulator for ``cycles`` edges of ``clock``."""
+    """Run the simulator through exactly ``cycles`` further edge instants of
+    ``clock``.
+
+    The contract is time-based: the simulator runs (inclusively) up to the
+    time of the ``cycles``-th next edge instant on the clock's period grid.
+    An always-active clock therefore executes exactly ``cycles`` edges — a
+    fresh clock ticks cycles ``0 .. cycles-1`` — and consecutive calls
+    compose: two calls with ``cycles=n`` cover the same window as one call
+    with ``cycles=2n``.  An idle-skipping clock may execute fewer edges, but
+    time (and thus the cycle/slot grid) advances identically.
+    """
+    if cycles < 0:
+        raise SimulationError(f"cannot run {cycles} cycles")
+    if cycles == 0:
+        return
     clock.start()
-    target_cycle = clock.cycle + cycles
-    end_time: Optional[int] = sim.now + cycles * clock.period_ps
-    sim.run(until=end_time)
-    # The final edge may land exactly at end_time; nothing further needed.
-    del target_cycle
+    if clock.cycle < 0 and sim.now <= clock.epoch_ps:
+        # First edge (index 0) is still pending: it counts as one of the
+        # requested instants.
+        target_index = cycles - 1
+    else:
+        # Last instant at or before now has passed (executed or skipped);
+        # count instants strictly after it.
+        target_index = (sim.now - clock.epoch_ps) // clock.period_ps + cycles
+    sim.run(until=clock.edge_time(target_index))

@@ -1,0 +1,63 @@
+"""Smoke tests for the tracked perf benchmark suite (benchmarks/perf).
+
+The quick smoke keeps the harness itself from rotting; the full suite run is
+marked ``slow`` so ``-m "not slow"`` skips it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+_RUN_PERF = os.path.join(_REPO_ROOT, "benchmarks", "perf", "run_perf.py")
+_SCENARIOS = ("idle_mesh", "saturated_mix", "bus_vs_noc")
+
+
+def _run(args, tmp_path):
+    output = tmp_path / "BENCH_PERF.json"
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, _RUN_PERF, "--output", str(output)] + args,
+        capture_output=True, text=True, env=env, timeout=600)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    with open(output) as handle:
+        return json.load(handle)
+
+
+def test_quick_smoke(tmp_path):
+    report = _run(["--quick"], tmp_path)
+    assert report["quick"] is True
+    assert set(report["scenarios"]) == set(_SCENARIOS)
+    for name in _SCENARIOS:
+        entry = report["scenarios"][name]
+        assert entry["results_identical"], name
+        assert entry["activity"]["executed_events"] > 0
+        assert entry["activity"]["median_wall_s"] > 0
+    # The headline acceptance criterion, at quick scale.
+    assert report["scenarios"]["idle_mesh"]["event_reduction"] >= 10
+
+
+@pytest.mark.slow
+def test_full_suite(tmp_path):
+    report = _run(["--repeats", "1"], tmp_path)
+    assert report["quick"] is False
+    assert report["scenarios"]["idle_mesh"]["event_reduction"] >= 10
+    for name in _SCENARIOS:
+        assert report["scenarios"][name]["results_identical"], name
+
+
+def test_checked_in_bench_perf_json_is_current_schema():
+    """BENCH_PERF.json at the repo root tracks the perf trajectory."""
+    path = os.path.join(_REPO_ROOT, "BENCH_PERF.json")
+    assert os.path.exists(path), "run benchmarks/perf/run_perf.py"
+    with open(path) as handle:
+        report = json.load(handle)
+    assert set(report["scenarios"]) == set(_SCENARIOS)
+    idle = report["scenarios"]["idle_mesh"]
+    assert idle["results_identical"]
+    assert idle["event_reduction"] >= 10
