@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-all bench bench-quick check
+
+test:            ## fast test tier (tier-1 minus slow)
+	$(PYTHON) -m pytest -q -m "not slow"
+
+test-all:        ## full test suite including slow equivalence runs
+	$(PYTHON) -m pytest -q
+
+bench:           ## full perf suite; rewrites the tracked BENCH_PERF.json
+	$(PYTHON) benchmarks/perf/run_perf.py
+
+bench-quick:     ## perf smoke test (does not touch BENCH_PERF.json)
+	$(PYTHON) benchmarks/perf/run_perf.py --quick --output /tmp/bench_quick.json
+
+check:           ## fast tests + perf smoke + perf floors (CI gate)
+	bash scripts/check.sh

@@ -10,6 +10,10 @@ clocks, the default) and always-tick (seed semantics) — and writes
                        for idle-skip.
 * ``saturated_mix``  — the E10-style GT+BE mix: several master/slave pairs
                        whose traffic shares one inter-router link.
+* ``saturated_grid`` — a 6x6 mesh with 12 master/slave pairs, alternating
+                       GT and BE rows and all three BE arbiters; a large
+                       fully-busy workload that exercises the kernel/router
+                       hot path rather than idle-skip.
 * ``bus_vs_noc``     — the E13 comparison workload: a shared-bus baseline
                        simulation plus a 1xN NoC carrying the same periodic
                        writes.
@@ -76,6 +80,28 @@ def _normalize(obj):
 # --------------------------------------------------------------------------
 # Scenarios: each returns (fingerprint, executed_events)
 # --------------------------------------------------------------------------
+def _attach_p2p_pair(system, master_ni: str, slave_ni: str,
+                     pattern: ConstantBitRateTraffic) -> TrafficGeneratorMaster:
+    """Wire a traffic-generating master and a memory slave onto two NIs."""
+    conn = PointToPointShell(f"{master_ni}_conn",
+                             system.kernel(master_ni).port("p"),
+                             role="master")
+    shell = MasterShell(f"{master_ni}_shell", conn)
+    master = TrafficGeneratorMaster(f"{master_ni}_ip", shell, pattern=pattern)
+    clock = system.port_clock(master_ni, "p")
+    for component in (master, shell, conn):
+        clock.add_component(component)
+    slave_conn = PointToPointShell(f"{slave_ni}_conn",
+                                   system.kernel(slave_ni).port("p"),
+                                   role="slave")
+    memory = MemorySlave(f"{slave_ni}_mem")
+    slave_shell = SlaveShell(f"{slave_ni}_shell", slave_conn, memory)
+    slave_clock = system.port_clock(slave_ni, "p")
+    for component in (slave_conn, slave_shell, memory):
+        slave_clock.add_component(component)
+    return master
+
+
 def scenario_idle_mesh(cycles: int) -> Tuple[object, int]:
     """A 4x4 mesh, one NI per router, zero traffic."""
     nis = [NISpec(name=f"ni{r}_{c}", router=(r, c),
@@ -110,6 +136,62 @@ def scenario_saturated_mix(cycles: int) -> Tuple[object, int]:
     return fingerprint, tb.system.sim.executed_events
 
 
+def scenario_saturated_grid(cycles: int) -> Tuple[object, int]:
+    """A 6x6 mesh under saturating mixed GT/BE load with all three arbiters.
+
+    Twelve master/slave pairs: two masters per row (columns 0 and 1) talking
+    to two slaves (columns 4 and 5), so each row's request traffic shares
+    the middle row links.  Even rows run guaranteed-throughput connections
+    with reserved slots, odd rows best-effort; the BE arbiters cycle through
+    round-robin, weighted round-robin and queue-fill across the NIs.
+    """
+    rows = cols = 6
+    arbiters = ("round_robin", "weighted_round_robin", "queue_fill")
+    ni_specs = []
+    pair_names = []
+    index = 0
+    for row in range(rows):
+        gt = row % 2 == 0
+        for k in range(2):
+            master_ni, slave_ni = f"m{row}_{k}", f"s{row}_{k}"
+            pair_names.append((master_ni, slave_ni, gt))
+            for name, router, kind in ((master_ni, (row, k), "master"),
+                                       (slave_ni, (row, cols - 2 + k),
+                                        "slave")):
+                ni_specs.append(NISpec(
+                    name=name, router=router,
+                    be_arbiter=arbiters[index % len(arbiters)],
+                    ports=[PortSpec(name="p", kind=kind, shell="p2p",
+                                    channels=[ChannelSpec(8, 8)])]))
+                index += 1
+    spec = NoCSpec(name="saturated_grid", topology="mesh", rows=rows,
+                   cols=cols, nis=ni_specs)
+    system = build_system(spec)
+    configurator = system.functional_configurator()
+    masters = []
+    for master_ni, slave_ni, gt in pair_names:
+        pattern = ConstantBitRateTraffic(period_cycles=8 if gt else 4,
+                                         burst_words=4, write=True,
+                                         posted=True)
+        masters.append(_attach_p2p_pair(system, master_ni, slave_ni, pattern))
+        configurator.open_connection(system.noc, ConnectionSpec(
+            name=f"c_{master_ni}", kind="p2p",
+            pairs=[ChannelPairSpec(
+                master=ChannelEndpointRef(master_ni, 0),
+                slave=ChannelEndpointRef(slave_ni, 0),
+                request_gt=gt, request_slots=2 if gt else 0,
+                response_gt=gt, response_slots=2 if gt else 0)]))
+    system.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        "flits": system.noc.total_flits_forwarded(),
+        "kernels": {name: kernel.stats.summary()
+                    for name, kernel in system.kernels.items()},
+        "latencies": {master.name: master.latency_summary()
+                      for master in masters},
+    })
+    return fingerprint, system.sim.executed_events
+
+
 def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
                         ) -> Tuple[object, int]:
     """The E13 workload: shared-bus baseline plus the equivalent 1xN NoC."""
@@ -133,25 +215,9 @@ def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
     configurator = system.functional_configurator()
     for index in range(num_masters):
         master_ni, slave_ni = f"m{index}", f"s{index}"
-        conn = PointToPointShell(f"{master_ni}_conn",
-                                 system.kernel(master_ni).port("p"),
-                                 role="master")
-        shell = MasterShell(f"{master_ni}_shell", conn)
         pattern = ConstantBitRateTraffic(period_cycles=64, burst_words=4,
                                          write=True, posted=True)
-        master = TrafficGeneratorMaster(f"{master_ni}_ip", shell,
-                                        pattern=pattern)
-        clock = system.port_clock(master_ni, "p")
-        for component in (master, shell, conn):
-            clock.add_component(component)
-        slave_conn = PointToPointShell(f"{slave_ni}_conn",
-                                       system.kernel(slave_ni).port("p"),
-                                       role="slave")
-        memory = MemorySlave(f"{slave_ni}_mem")
-        slave_shell = SlaveShell(f"{slave_ni}_shell", slave_conn, memory)
-        slave_clock = system.port_clock(slave_ni, "p")
-        for component in (slave_conn, slave_shell, memory):
-            slave_clock.add_component(component)
+        _attach_p2p_pair(system, master_ni, slave_ni, pattern)
         configurator.open_connection(system.noc, ConnectionSpec(
             name=f"c{index}", kind="p2p",
             pairs=[ChannelPairSpec(master=ChannelEndpointRef(master_ni, 0),
@@ -168,6 +234,7 @@ def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
 SCENARIOS: Dict[str, Callable[[int], Tuple[object, int]]] = {
     "idle_mesh": scenario_idle_mesh,
     "saturated_mix": scenario_saturated_mix,
+    "saturated_grid": scenario_saturated_grid,
     "bus_vs_noc": scenario_bus_vs_noc,
 }
 
@@ -175,6 +242,7 @@ SCENARIOS: Dict[str, Callable[[int], Tuple[object, int]]] = {
 CYCLES = {
     "idle_mesh": (20000, 1500),
     "saturated_mix": (4000, 400),
+    "saturated_grid": (1500, 150),
     "bus_vs_noc": (2500, 400),
 }
 

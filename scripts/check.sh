@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-command repo gate: fast test tier + quick perf smoke + perf floors.
+#
+#   scripts/check.sh        (or: make check)
+#
+# Fails if any fast-tier test fails, if the quick benchmark cannot
+# reproduce identical results across engine modes, or if
+# idle_mesh.event_reduction drops below 10x in either the fresh quick run
+# or the tracked BENCH_PERF.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests (fast tier) =="
+python -m pytest -q -m "not slow"
+
+quick_json="$(mktemp /tmp/bench_quick.XXXXXX.json)"
+trap 'rm -f "$quick_json"' EXIT
+
+echo "== perf smoke (benchmarks/perf/run_perf.py --quick) =="
+python benchmarks/perf/run_perf.py --quick --output "$quick_json"
+
+echo "== perf floors =="
+python - "$quick_json" <<'EOF'
+import json
+import sys
+
+FLOOR = 10.0
+
+def reduction(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    return report["scenarios"]["idle_mesh"]["event_reduction"]
+
+failures = []
+for label, path in (("quick run", sys.argv[1]),
+                    ("tracked BENCH_PERF.json", "BENCH_PERF.json")):
+    value = reduction(path)
+    status = "ok" if value >= FLOOR else "FAIL"
+    print(f"  idle_mesh.event_reduction [{label}]: {value:.1f}x ({status})")
+    if value < FLOOR:
+        failures.append(label)
+if failures:
+    sys.exit(f"idle_mesh.event_reduction below {FLOOR}x in: {failures}")
+EOF
+
+echo "check: OK"

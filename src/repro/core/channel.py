@@ -67,6 +67,13 @@ class Channel:
         self.flush_pending = False
         self._flush_words_remaining = 0
         self.stats = StatsRegistry()
+        #: Hot-path counters, cached as attributes so the kernel bumps them
+        #: without a string-keyed registry lookup per packet (they remain
+        #: reachable through ``stats`` under the same names).
+        self._ctr_words_sent = self.stats.counter("words_sent")
+        self._ctr_packets_sent = self.stats.counter("packets_sent")
+        self._ctr_credits_sent = self.stats.counter("credits_sent")
+        self._ctr_words_received = self.stats.counter("words_received")
         #: Wake hook toward the kernel (transmit side): fires on any stimulus
         #: that could make this channel schedulable (source words, credits,
         #: space, flush).  Set by :meth:`NIKernel.add_channel`.

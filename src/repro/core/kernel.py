@@ -101,6 +101,45 @@ class NIKernel(ClockedComponent):
         self._gt_flits: Deque[Flit] = deque()
         self._be_flits: Deque[Flit] = deque()
         self._cycle = 0
+        # ------------------------------------------------------- hot path
+        # (see PERFORMANCE.md "hot path": invariants a ClockedComponent
+        # author must preserve when touching any of this state)
+        #: Ready-channel overlay: a superset of the BE channels that are
+        #: potentially schedulable.  Every stimulus that can raise a
+        #: channel's eligibility adds its index here (via the per-channel
+        #: tx-wake closure or ``write_register``); ``_transmit_be`` scans
+        #: only this set and lazily drops channels that went quiescent.
+        self._be_ready: set = set()
+        #: Scratch list reused every cycle for the eligible indices handed
+        #: to the arbiter (arbiters do not retain it).
+        self._eligible_scratch: List[int] = []
+        #: Slot->owner / slot->consecutive-run cache, invalidated by the
+        #: slot table's version counter (bumped on every reservation
+        #: mutation, including direct ``slot_table.reserve`` calls).
+        self._slot_owners: List[Optional[int]] = [None] * num_slots
+        self._slot_runs: List[int] = [1] * num_slots
+        self._slot_cache_version = -1
+        # Hot counters cached as attributes: one string-keyed registry
+        # lookup at construction instead of one per flit per cycle.  The
+        # objects stay shared with ``self.stats``, so summaries and tests
+        # observe the same values.
+        stats = self.stats
+        self._ctr_gt_flits_sent = stats.counter("gt_flits_sent")
+        self._ctr_gt_packets_sent = stats.counter("gt_packets_sent")
+        self._ctr_gt_slots_unused = stats.counter("gt_slots_unused")
+        self._ctr_be_flits_sent = stats.counter("be_flits_sent")
+        self._ctr_be_packets_sent = stats.counter("be_packets_sent")
+        self._ctr_be_stalls = stats.counter("be_stalls")
+        self._ctr_words_sent = stats.counter("words_sent")
+        self._ctr_credits_sent = stats.counter("credits_sent")
+        self._ctr_credit_only_packets = stats.counter("credit_only_packets")
+        self._ctr_credits_received = stats.counter("credits_received")
+        self._ctr_words_received = stats.counter("words_received")
+        self._ctr_packets_received = stats.counter("packets_received")
+        self._ctr_gt_flits_received = stats.counter("gt_flits_received")
+        self._ctr_be_flits_received = stats.counter("be_flits_received")
+        self._hist_payload_words = stats.histogram("packet_payload_words")
+        self._lat_network = stats.latency("packet_network_latency")
 
     # ------------------------------------------------------------- channels
     def add_channel(self, source_queue_words: int = 8, dest_queue_words: int = 8,
@@ -121,9 +160,27 @@ class NIKernel(ClockedComponent):
                           sim=self.sim,
                           source_cdc_delay_ps=cdc_cycles * self.flit_period_ps,
                           dest_cdc_delay_ps=cdc_cycles * reader_period)
-        channel.set_tx_wake(self.notify_active)
+        channel.set_tx_wake(self._make_tx_wake(index))
         self.channels.append(channel)
         return channel
+
+    def _make_tx_wake(self, index: int):
+        """Transmit-side wake hook for channel ``index``.
+
+        Marks the channel ready for the BE scheduler scan and revives the
+        kernel's clock.  Installed as both ``Channel._tx_wake`` and the
+        source queue's ``on_push``, so every eligibility-raising stimulus
+        (words, credits, space, flush — including direct queue pokes in
+        tests) maintains the ready set.
+        """
+        be_ready = self._be_ready
+        notify = self.notify_active
+
+        def wake() -> None:
+            be_ready.add(index)
+            notify()
+
+        return wake
 
     def channel(self, index: int) -> Channel:
         try:
@@ -165,11 +222,18 @@ class NIKernel(ClockedComponent):
         self.to_network.source_port = 0
 
     def attach_links(self, to_network: Link, from_network: Link) -> None:
-        """Directly attach raw links (used by back-to-back NI tests)."""
+        """Directly attach raw links (used by back-to-back NI tests).
+
+        Performs the same wiring as :meth:`attach`, including the
+        ``sink_port``/``source_port`` assignment, so back-to-back kernels
+        exercise exactly the link configuration of the NoC path.
+        """
         self.to_network = to_network
         self.from_network = from_network
         self.from_network.sink = self
+        self.from_network.sink_port = 0
         self.to_network.source = self
+        self.to_network.source_port = 0
 
     def be_space(self, port: int) -> int:
         """Link-level BE space: destination queues are guaranteed by credits."""
@@ -220,7 +284,7 @@ class NIKernel(ClockedComponent):
             credits = packet.header.credits
             if credits:
                 channel.add_space(credits)
-                self.stats.counter("credits_received").increment(credits)
+                self._ctr_credits_received.increment(credits)
         words = self._flit_payload(flit)
         for word in words:
             if not channel.dest_queue.can_push():
@@ -230,16 +294,17 @@ class NIKernel(ClockedComponent):
             # dest_queue.on_push wakes the IP-side reader's clock domain.
             channel.dest_queue.push(word)
         if words:
-            self.stats.counter("words_received").increment(len(words))
-            channel.stats.counter("words_received").increment(len(words))
+            self._ctr_words_received.increment(len(words))
+            channel._ctr_words_received.increment(len(words))
         if flit.is_tail:
             packet.delivered_cycle = cycle
-            self.stats.counter("packets_received").increment()
+            self._ctr_packets_received.increment()
             if packet.injected_cycle is not None:
-                self.stats.latency("packet_network_latency").record(
-                    packet.injected_cycle, cycle)
-        kind = "gt" if flit.is_gt else "be"
-        self.stats.counter(f"{kind}_flits_received").increment()
+                self._lat_network.record(packet.injected_cycle, cycle)
+        if flit.is_gt:
+            self._ctr_gt_flits_received.increment()
+        else:
+            self._ctr_be_flits_received.increment()
 
     @staticmethod
     def _flit_payload(flit: Flit) -> List[int]:
@@ -263,53 +328,101 @@ class NIKernel(ClockedComponent):
         # consecutive slots reserved for the channel, so the slot is ours.
         if self._gt_flits:
             self.to_network.send(self._gt_flits.popleft())
-            self.stats.counter("gt_flits_sent").increment()
+            self._ctr_gt_flits_sent.increment()
             return True
-        owner = self.slot_table.owner(slot)
+        if self._slot_cache_version != self.slot_table.version:
+            self._refresh_slot_cache()
+        owner = self._slot_owners[slot]
         if owner is None:
             return False
         channel = self.channels[owner]
         if not channel.regs.gt or not channel.eligible():
             # The reserved slot goes unused by GT; BE may claim it.
-            self.stats.counter("gt_slots_unused").increment()
+            self._ctr_gt_slots_unused.increment()
             return False
-        run = self._consecutive_slots(owner, slot)
+        run = self._slot_runs[slot]
         packet = self._form_packet(channel, gt=True, cycle=cycle,
                                    max_payload=min(self.max_packet_words,
                                                    FLIT_WORDS * run - 1))
         flits = packet_to_flits(packet)
         self.to_network.send(flits[0])
         self._gt_flits.extend(flits[1:])
-        self.stats.counter("gt_flits_sent").increment()
-        self.stats.counter("gt_packets_sent").increment()
+        self._ctr_gt_flits_sent.increment()
+        self._ctr_gt_packets_sent.increment()
         return True
 
     def _transmit_be(self, cycle: int) -> None:
         if self._be_flits:
             if self.to_network.can_send_be():
                 self.to_network.send(self._be_flits.popleft())
-                self.stats.counter("be_flits_sent").increment()
+                self._ctr_be_flits_sent.increment()
             else:
-                self.stats.counter("be_stalls").increment()
+                self._ctr_be_stalls.increment()
             return
-        eligible = [ch.index for ch in self.channels
-                    if not ch.regs.gt and ch.eligible()]
+        ready = self._be_ready
+        if not ready:
+            return
+        channels = self.channels
+        eligible = self._eligible_scratch
+        del eligible[:]
+        stale = None
+        for index in ready:
+            channel = channels[index]
+            if channel.regs.gt:
+                # GT channels drift in through the shared wake hooks; they
+                # are never BE-schedulable, so drop them from the overlay.
+                if stale is None:
+                    stale = []
+                stale.append(index)
+                continue
+            if channel.eligible():
+                eligible.append(index)
+            elif not channel.potentially_active():
+                if stale is None:
+                    stale = []
+                stale.append(index)
+        if stale:
+            for index in stale:
+                ready.discard(index)
         if not eligible:
             return
         if not self.to_network.can_send_be():
-            self.stats.counter("be_stalls").increment()
+            self._ctr_be_stalls.increment()
             return
-        choice = self.be_arbiter.select(eligible, self.channels)
+        choice = self.be_arbiter.select(eligible, channels)
         if choice is None:
             return
-        channel = self.channels[choice]
+        channel = channels[choice]
         packet = self._form_packet(channel, gt=False, cycle=cycle,
                                    max_payload=self.max_packet_words)
         flits = packet_to_flits(packet)
         self.to_network.send(flits[0])
         self._be_flits.extend(flits[1:])
-        self.stats.counter("be_flits_sent").increment()
-        self.stats.counter("be_packets_sent").increment()
+        self._ctr_be_flits_sent.increment()
+        self._ctr_be_packets_sent.increment()
+
+    def _refresh_slot_cache(self) -> None:
+        """Rebuild the slot->owner and slot->run caches from the slot table.
+
+        Runs only when ``SlotTable.version`` moved (a reservation changed),
+        so the per-cycle GT path reads two flat lists instead of calling
+        ``owner()`` and re-deriving the consecutive-slot run every packet.
+        """
+        entries = self.slot_table.entries()
+        num_slots = self.num_slots
+        runs = self._slot_runs
+        for slot in range(num_slots):
+            owner = entries[slot]
+            run = 0
+            if owner is not None:
+                for offset in range(num_slots):
+                    if entries[(slot + offset) % num_slots] == owner:
+                        run += 1
+                    else:
+                        break
+            runs[slot] = max(run, 1)
+        self._slot_owners = entries
+        self._slot_cache_version = self.slot_table.version
 
     def _consecutive_slots(self, owner: int, start_slot: int) -> int:
         """Number of consecutive slots (starting at ``start_slot``) owned by
@@ -342,17 +455,18 @@ class NIKernel(ClockedComponent):
                               channel_key=(self.name, channel.index))
         packet = Packet(header, payload, injected_cycle=cycle)
         channel.note_words_sent(len(payload))
-        channel.stats.counter("words_sent").increment(len(payload))
-        channel.stats.counter("packets_sent").increment()
-        channel.stats.counter("credits_sent").increment(credits)
-        self.stats.counter("words_sent").increment(len(payload))
-        self.stats.counter("credits_sent").increment(credits)
+        channel._ctr_words_sent.increment(len(payload))
+        channel._ctr_packets_sent.increment()
+        channel._ctr_credits_sent.increment(credits)
+        self._ctr_words_sent.increment(len(payload))
+        self._ctr_credits_sent.increment(credits)
         if not payload:
-            self.stats.counter("credit_only_packets").increment()
-        self.stats.histogram("packet_payload_words").add(len(payload))
-        self.tracer.record(self.sim.now, self.name, "packet_formed",
-                           channel=channel.index, gt=gt, words=len(payload),
-                           credits=credits)
+            self._ctr_credit_only_packets.increment()
+        self._hist_payload_words.add(len(payload))
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, self.name, "packet_formed",
+                               channel=channel.index, gt=gt,
+                               words=len(payload), credits=credits)
         return packet
 
     # ------------------------------------------------------------ registers
@@ -397,6 +511,10 @@ class NIKernel(ClockedComponent):
             raise RegisterError(f"{self.name}: REG_STATUS is read-only")
         else:  # pragma: no cover - unreachable with valid stride
             raise RegisterError(f"{self.name}: unknown register {register}")
+        # Any channel register write may raise eligibility (enable, GT->BE
+        # flip, threshold drop, space refill): mark the channel ready so the
+        # BE scheduler re-examines it.
+        self._be_ready.add(channel_index)
         self.notify_active()
         self.tracer.record(self.sim.now, self.name, "register_write",
                            address=address, value=value)

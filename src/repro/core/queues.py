@@ -38,6 +38,14 @@ class HardwareFifo:
         self.sim = sim
         self.cdc_delay_ps = cdc_delay_ps
         self._items: Deque[Tuple[int, int]] = deque()  # (visible_at_ps, word)
+        # Incremental synchronization cache: ``_sync_count`` items (a prefix
+        # of ``_items``) were known visible at time ``_sync_time``.  Push
+        # times are monotone, so visibility times are too, and the count
+        # only needs to advance — ``fill`` is O(1) amortized instead of a
+        # scan over the queue per call (it is called on every scheduler and
+        # shell hot path).
+        self._sync_count = 0
+        self._sync_time = -1
         self.total_pushed = 0
         self.total_popped = 0
         self.max_fill_seen = 0
@@ -66,8 +74,14 @@ class HardwareFifo:
     def push(self, word: int) -> None:
         if not self.can_push():
             raise QueueError(f"fifo {self.name}: overflow (capacity {self.capacity})")
-        visible_at = self._now() + self.cdc_delay_ps
+        now = self._now()
+        visible_at = now + self.cdc_delay_ps
         self._items.append((visible_at, int(word)))
+        if visible_at <= now:
+            # No CDC delay: the new word (and thus, by monotonicity, the
+            # whole queue) is immediately visible to the reader.
+            self._sync_count = len(self._items)
+            self._sync_time = now
         self.total_pushed += 1
         if len(self._items) > self.max_fill_seen:
             self.max_fill_seen = len(self._items)
@@ -87,12 +101,14 @@ class HardwareFifo:
     def fill(self) -> int:
         """Words visible to the reader (synchronized across the clock boundary)."""
         now = self._now()
-        count = 0
-        for visible_at, _ in self._items:
-            if visible_at <= now:
+        count = self._sync_count
+        if now != self._sync_time:
+            items = self._items
+            total = len(items)
+            while count < total and items[count][0] <= now:
                 count += 1
-            else:
-                break
+            self._sync_count = count
+            self._sync_time = now
         return count
 
     def can_pop(self, count: int = 1) -> bool:
@@ -111,6 +127,9 @@ class HardwareFifo:
         if not self.can_pop():
             raise QueueError(f"fifo {self.name}: pop on empty/unsynchronized fifo")
         _, word = self._items.popleft()
+        # can_pop just synchronized the cache at the current time, so the
+        # popped word was counted.
+        self._sync_count -= 1
         self.total_popped += 1
         return word
 
@@ -121,6 +140,8 @@ class HardwareFifo:
 
     def clear(self) -> None:
         self._items.clear()
+        self._sync_count = 0
+        self._sync_time = -1
 
     def __len__(self) -> int:
         return len(self._items)

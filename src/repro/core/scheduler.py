@@ -36,13 +36,19 @@ class RoundRobinArbiter(Arbiter):
                channels: Sequence[Channel]) -> Optional[int]:
         if not eligible:
             return None
-        ordered = sorted(eligible)
-        for candidate in ordered:
-            if candidate > self._last_granted:
-                self._last_granted = candidate
-                return candidate
-        # Wrap around.
-        choice = ordered[0]
+        # Single pass, no sort/copy: grant the lowest index above the last
+        # grant, wrapping to the lowest index overall.  Called once per BE
+        # flit cycle, so this runs on the kernel's hot path.
+        last = self._last_granted
+        lowest = None
+        lowest_above = None
+        for candidate in eligible:
+            if lowest is None or candidate < lowest:
+                lowest = candidate
+            if candidate > last and (lowest_above is None
+                                     or candidate < lowest_above):
+                lowest_above = candidate
+        choice = lowest_above if lowest_above is not None else lowest
         self._last_granted = choice
         return choice
 
@@ -92,10 +98,10 @@ class QueueFillArbiter(Arbiter):
             return None
         best: Optional[int] = None
         best_fill = -1
-        for index in sorted(eligible):
+        for index in eligible:
             channel = channels[index]
             fill = max(channel.sendable, min(channel.credit, 1))
-            if fill > best_fill:
+            if fill > best_fill or (fill == best_fill and index < best):
                 best_fill = fill
                 best = index
         return best

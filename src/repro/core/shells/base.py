@@ -69,10 +69,26 @@ class ConnectionShell(ClockedComponent):
         #: Fully reassembled messages ready for the adapter above.
         self._rx_ready: Deque[Tuple[Message, int]] = deque()
         self._rx_current_conn: Optional[int] = None
+        #: Channels this shell streams to/from, cached to skip the
+        #: port -> kernel -> channel lookup chain on every word (hot path).
+        self._conn_channels = [port.channel(conn)
+                               for conn in range(port.num_connections)]
+        #: Reusable candidate sequence for the default rx policy.
+        self._all_conns = range(port.num_connections)
+        #: Simulator (via the owning kernel) for trace timestamps.
+        self._sim = getattr(port.kernel, "sim", None)
+        # Hot counters cached as attributes; shared with ``self.stats``.
+        stats = self.stats
+        self._ctr_messages_submitted = stats.counter("messages_submitted")
+        self._ctr_tx_stalls = stats.counter("tx_stalls")
+        self._ctr_tx_words = stats.counter("tx_words")
+        self._ctr_messages_sent = stats.counter("messages_sent")
+        self._ctr_rx_words = stats.counter("rx_words")
+        self._ctr_messages_received = stats.counter("messages_received")
         # Wake this shell's clock whenever the kernel deposits words in any
         # destination queue this shell reads (activity-driven scheduling).
-        for conn in range(port.num_connections):
-            port.channel(conn).add_rx_listener(self.notify_active)
+        for channel in self._conn_channels:
+            channel.add_rx_listener(self.notify_active)
 
     # ----------------------------------------------------------- upward API
     def can_submit(self) -> bool:
@@ -89,7 +105,7 @@ class ConnectionShell(ClockedComponent):
             self.port.channel_index(c)  # bounds check
         self._tx_queue.append((conns, list(message.to_words())))
         self._on_submitted(message, conns)
-        self.stats.counter("messages_submitted").increment()
+        self._ctr_messages_submitted.increment()
         self.notify_active()
         return True
 
@@ -122,9 +138,8 @@ class ConnectionShell(ClockedComponent):
         for buffer in self._rx_partial.values():
             if buffer:
                 return False
-        port = self.port
-        for conn in range(port.num_connections):
-            if port.channel(conn).dest_queue.total_fill:
+        for channel in self._conn_channels:
+            if channel.dest_queue.total_fill:
                 return False
         return True
 
@@ -143,7 +158,7 @@ class ConnectionShell(ClockedComponent):
 
     def _rx_conn_candidates(self) -> Sequence[int]:
         """Connections that may deliver words this cycle, in priority order."""
-        return range(self.port.num_connections)
+        return self._all_conns
 
     def _deliver(self, message: Message, conn: int) -> None:
         """A complete message arrived on ``conn``."""
@@ -157,36 +172,56 @@ class ConnectionShell(ClockedComponent):
     # -------------------------------------------------------------- internal
     def _stream_tx(self, cycle: int) -> None:
         budget = self.tx_words_per_cycle
-        while budget > 0 and self._tx_queue:
-            conns, words = self._tx_queue[0]
+        tx_queue = self._tx_queue
+        channels = self._conn_channels
+        while budget > 0 and tx_queue:
+            conns, words = tx_queue[0]
             if not words:
-                self._tx_queue.popleft()
+                tx_queue.popleft()
                 continue
-            # A multicast message advances only when every target can accept.
-            if not all(self.port.can_push(c) for c in conns):
-                self.stats.counter("tx_stalls").increment()
-                break
-            word = words.pop(0)
-            for c in conns:
-                self.port.push(c, word)
-            self.stats.counter("tx_words").increment()
+            if len(conns) == 1:
+                queue = channels[conns[0]].source_queue
+                if not queue.can_push():
+                    self._ctr_tx_stalls.increment()
+                    break
+                queue.push(words.pop(0))
+            else:
+                # A multicast message advances only when every target can
+                # accept.
+                stalled = False
+                for c in conns:
+                    if not channels[c].source_queue.can_push():
+                        stalled = True
+                        break
+                if stalled:
+                    self._ctr_tx_stalls.increment()
+                    break
+                word = words.pop(0)
+                for c in conns:
+                    channels[c].source_queue.push(word)
+            self._ctr_tx_words.increment()
             budget -= 1
             if not words:
-                self._tx_queue.popleft()
-                self.stats.counter("messages_sent").increment()
+                tx_queue.popleft()
+                self._ctr_messages_sent.increment()
 
     def _collect_rx(self, cycle: int) -> None:
         budget = self.rx_words_per_cycle
+        channels = self._conn_channels
         while budget > 0:
             conn = self._pick_rx_conn()
             if conn is None:
                 return
-            word = self.port.pop(conn)
+            # Popping a word is the moment the IP consumes data: return a
+            # credit to the remote producer (same semantics as NIPort.pop).
+            channel = channels[conn]
+            word = channel.dest_queue.pop()
+            channel.add_credit(1)
             buffer = self._rx_partial.setdefault(conn, [])
             buffer.append(word)
             if self._rx_expected.get(conn) is None:
                 self._rx_expected[conn] = self._words_expected(word)
-            self.stats.counter("rx_words").increment()
+            self._ctr_rx_words.increment()
             budget -= 1
             expected = self._rx_expected[conn]
             if expected is not None and len(buffer) >= expected:
@@ -195,23 +230,30 @@ class ConnectionShell(ClockedComponent):
                 self._rx_expected[conn] = None
                 self._rx_current_conn = None
                 message = self._parse(words)
-                self.stats.counter("messages_received").increment()
-                self.tracer.record(0, self.name, "message_received",
-                                   conn=conn, words=len(words))
+                self._ctr_messages_received.increment()
+                if self.tracer.enabled:
+                    self.tracer.record(self._now_ps(), self.name,
+                                       "message_received",
+                                       conn=conn, words=len(words))
                 self._deliver(message, conn)
 
     def _pick_rx_conn(self) -> Optional[int]:
+        channels = self._conn_channels
+        current = self._rx_current_conn
         # Finish the message currently being reassembled before switching.
-        if (self._rx_current_conn is not None
-                and self._rx_partial.get(self._rx_current_conn)):
-            if self.port.can_pop(self._rx_current_conn):
-                return self._rx_current_conn
+        if current is not None and self._rx_partial.get(current):
+            if channels[current].dest_queue.fill:
+                return current
             return None
         for conn in self._rx_conn_candidates():
-            if self.port.can_pop(conn):
+            if channels[conn].dest_queue.fill:
                 self._rx_current_conn = conn
                 return conn
         return None
+
+    def _now_ps(self) -> int:
+        """Current simulation time for trace events (0 when unclocked)."""
+        return self._sim.now if self._sim is not None else 0
 
     def _words_expected(self, header_word: int) -> int:
         if self.role == "master":

@@ -62,6 +62,14 @@ class MasterShell(ClockedComponent):
         self._outstanding: Dict[int, Transaction] = {}
         self._completed: Deque[Transaction] = deque()
         self._cycle = 0
+        # Hot counters cached as attributes; shared with ``self.stats``.
+        stats = self.stats
+        self._ctr_transactions_submitted = stats.counter("transactions_submitted")
+        self._ctr_issue_stalls = stats.counter("issue_stalls")
+        self._ctr_requests_issued = stats.counter("requests_issued")
+        self._ctr_posted_completions = stats.counter("posted_completions")
+        self._ctr_responses_received = stats.counter("responses_received")
+        self._lat_transaction = stats.latency("transaction_latency")
 
     # ------------------------------------------------------------- IP side
     def can_submit(self) -> bool:
@@ -77,12 +85,14 @@ class MasterShell(ClockedComponent):
         transaction.status = TransactionStatus.ISSUED
         transaction.trans_id = self._allocate_trans_id()
         self._pending.append((issue_cycle + self.seq_latency_cycles, transaction))
-        self.stats.counter("transactions_submitted").increment()
+        self._ctr_transactions_submitted.increment()
         self.notify_active()
         return True
 
     def poll_completed(self) -> List[Transaction]:
         """Transactions completed since the last call."""
+        if not self._completed:
+            return []
         done = list(self._completed)
         self._completed.clear()
         return done
@@ -90,6 +100,17 @@ class MasterShell(ClockedComponent):
     @property
     def outstanding(self) -> int:
         return len(self._outstanding) + len(self._pending)
+
+    @property
+    def uncollected_completions(self) -> int:
+        """Completed transactions the IP has not polled yet.
+
+        The IP module ticks *before* this shell on their shared clock, so a
+        completion produced in tick N is only collected in tick N+1; "am I
+        done" predicates must count these or they can report done one cycle
+        early and strand the last completion.
+        """
+        return len(self._completed)
 
     def idle(self) -> bool:
         return not self._pending and not self._outstanding and self.shell.idle()
@@ -118,24 +139,25 @@ class MasterShell(ClockedComponent):
 
     def _issue(self, cycle: int) -> None:
         while self._pending and self._pending[0][0] <= cycle:
-            ready_cycle, transaction = self._pending[0]
-            message = self._to_message(transaction)
+            # Check for shell backpressure before building the message, so a
+            # stalled transaction does not re-serialize itself every cycle.
             if not self.shell.can_submit():
-                self.stats.counter("issue_stalls").increment()
+                self._ctr_issue_stalls.increment()
                 return
+            transaction = self._pending[0][1]
+            message = self._to_message(transaction)
             if not self.shell.submit(message):
-                self.stats.counter("issue_stalls").increment()
+                self._ctr_issue_stalls.increment()
                 return
             self._pending.popleft()
-            del ready_cycle
             if transaction.expects_response:
                 self._outstanding[transaction.trans_id] = transaction
             else:
                 # Posted writes complete as soon as they are handed to the NI.
                 transaction.complete(TransactionResponse(), cycle=cycle)
                 self._completed.append(transaction)
-                self.stats.counter("posted_completions").increment()
-            self.stats.counter("requests_issued").increment()
+                self._ctr_posted_completions.increment()
+            self._ctr_requests_issued.increment()
 
     def _complete(self, cycle: int) -> None:
         while True:
@@ -154,10 +176,9 @@ class MasterShell(ClockedComponent):
                                            read_data=list(message.read_data))
             transaction.complete(response, cycle=cycle)
             self._completed.append(transaction)
-            self.stats.counter("responses_received").increment()
+            self._ctr_responses_received.increment()
             if transaction.latency_cycles is not None:
-                self.stats.latency("transaction_latency").record(
-                    transaction.issue_cycle, cycle)
+                self._lat_transaction.record(transaction.issue_cycle, cycle)
 
     # -------------------------------------------------------------- helpers
     def _allocate_trans_id(self) -> int:

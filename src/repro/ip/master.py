@@ -47,8 +47,11 @@ class TrafficGeneratorMaster(ClockedComponent):
             self.issue(transaction)
 
     def done(self) -> bool:
-        """True when every generated transaction has completed."""
+        """True when every generated transaction has completed *and* been
+        collected into :attr:`completed` (the shell completes a posted write
+        one tick before this IP polls it, so the uncollected count matters)."""
         return (not self._backlog and self.shell.outstanding == 0
+                and self.shell.uncollected_completions == 0
                 and self._pattern_exhausted())
 
     def _pattern_exhausted(self) -> bool:

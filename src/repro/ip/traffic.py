@@ -20,6 +20,11 @@ from typing import Iterator, List, Optional
 
 from repro.protocol.transactions import Transaction
 
+#: Shared empty result for cycles with no traffic: the generators return it
+#: instead of allocating a fresh list every master-clock cycle (hot path);
+#: callers only iterate the result.
+NO_TRAFFIC: List[Transaction] = []
+
 
 class TrafficPattern:
     """Interface: transactions to issue at a given master-clock cycle."""
@@ -56,9 +61,9 @@ class ConstantBitRateTraffic(TrafficPattern):
 
     def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
         if cycle < self.start_cycle:
-            return []
+            return NO_TRAFFIC
         if (cycle - self.start_cycle) % self.period_cycles != 0:
-            return []
+            return NO_TRAFFIC
         offset = (self._issued * self.address_stride) % self.address_wrap
         address = self.base_address + offset
         self._issued += 1
@@ -90,7 +95,7 @@ class BurstyTraffic(TrafficPattern):
     def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
         phase = cycle % (self.on_cycles + self.off_cycles)
         if phase >= self.on_cycles:
-            return []
+            return NO_TRAFFIC
         address = self.base_address + (self._issued * 4) % (1 << 16)
         self._issued += 1
         if self.write:
@@ -122,7 +127,7 @@ class RandomTraffic(TrafficPattern):
 
     def transactions_for_cycle(self, cycle: int) -> List[Transaction]:
         if self._rng.random() >= self.injection_probability:
-            return []
+            return NO_TRAFFIC
         address = self.base_address + 4 * self._rng.randrange(
             max(1, self.address_space // 4))
         if self._rng.random() < self.read_fraction:
@@ -164,7 +169,7 @@ class VideoLineTraffic(TrafficPattern):
         if phase >= active_cycles or phase % self.cycles_per_burst != 0:
             if phase == self.line_cycles - 1:
                 self._line += 1
-            return []
+            return NO_TRAFFIC
         burst_index = phase // self.cycles_per_burst
         words_left = self.pixels_per_line - burst_index * self.burst_words
         words = min(self.burst_words, words_left)

@@ -34,9 +34,10 @@ class Link(ClockedComponent):
         self.name = name
         self.tracer = tracer
         self.stats = stats if stats is not None else StatsRegistry()
-        #: Component consuming flits from this link; must expose
-        #: ``be_space(port_index) -> int`` for best-effort backpressure.
-        self.sink: Optional[object] = None
+        self._sink: Optional[object] = None
+        #: Sink's bound ``be_space`` method, cached at wiring time so the
+        #: per-flit backpressure check skips the hasattr probe (hot path).
+        self._sink_be_space = None
         self.sink_port: int = 0
         self.source: Optional[object] = None
         self.source_port: int = 0
@@ -46,6 +47,17 @@ class Link(ClockedComponent):
         self.words_carried = 0
         self.gt_flits_carried = 0
         self.be_flits_carried = 0
+
+    @property
+    def sink(self) -> Optional[object]:
+        """Component consuming flits from this link; may expose
+        ``be_space(port_index) -> int`` for best-effort backpressure."""
+        return self._sink
+
+    @sink.setter
+    def sink(self, component: Optional[object]) -> None:
+        self._sink = component
+        self._sink_be_space = getattr(component, "be_space", None)
 
     # ---------------------------------------------------------------- wiring
     def connect(self, source: object, source_port: int,
@@ -64,10 +76,11 @@ class Link(ClockedComponent):
         """True when a best-effort flit may be sent without overflowing the sink."""
         if self._incoming is not None:
             return False
-        if self.sink is None or not hasattr(self.sink, "be_space"):
+        be_space = self._sink_be_space
+        if be_space is None:
             return True
         in_flight = (1 if self._stage is not None else 0)
-        return self.sink.be_space(self.sink_port) - in_flight > 0
+        return be_space(self.sink_port) - in_flight > 0
 
     def send(self, flit: Flit) -> None:
         if self._incoming is not None:

@@ -191,7 +191,8 @@ class NoCBuilder:
                             be_buffer_flits=self.be_buffer_flits,
                             slot_table=slot_table,
                             strict_gt=self.strict_gt,
-                            tracer=self.tracer)
+                            tracer=self.tracer,
+                            sim=sim)
             routers[node] = router
             flit_clock.add_component(router)
 

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, List, Optional
 
 from repro.network.link import Link
 from repro.network.packet import Flit
 from repro.network.slot_table import RouterSlotTable
 from repro.sim.clock import ClockedComponent
+from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -57,7 +58,8 @@ class Router(ClockedComponent):
                  slot_table: Optional[RouterSlotTable] = None,
                  strict_gt: bool = True,
                  tracer: Tracer = NULL_TRACER,
-                 stats: Optional[StatsRegistry] = None) -> None:
+                 stats: Optional[StatsRegistry] = None,
+                 sim: Optional[Simulator] = None) -> None:
         if num_ports <= 0:
             raise ValueError("router needs at least one port")
         if be_buffer_flits <= 0:
@@ -68,6 +70,9 @@ class Router(ClockedComponent):
         self.slot_table = slot_table
         self.strict_gt = strict_gt
         self.tracer = tracer
+        #: Simulator reference so trace events carry real timestamps; when
+        #: None (stand-alone unit-test harnesses), traces record time 0.
+        self.sim = sim
         self.stats = stats if stats is not None else StatsRegistry()
         self.in_links: List[Optional[Link]] = [None] * num_ports
         self.out_links: List[Optional[Link]] = [None] * num_ports
@@ -75,6 +80,28 @@ class Router(ClockedComponent):
         self._be_rr_pointer = [0] * num_ports
         self._be_output_locked_input: List[Optional[int]] = [None] * num_ports
         self._cycle = 0
+        # ------------------------------------------------------- hot path
+        #: (port, link) pairs for the connected inputs only, so the per-cycle
+        #: accept loop skips unwired ports without a None test each.
+        self._wired_in_links: List[tuple] = []
+        # Flat per-output arrays for GT arbitration: stamped with a private
+        # monotonic tick stamp instead of being cleared every cycle.
+        self._gt_claim_stamp = [-1] * num_ports
+        self._gt_first_port = [0] * num_ports
+        self._gt_conflict_stamp = [-1] * num_ports
+        self._tick_stamp = 0
+        # Hot counters cached as attributes (one registry lookup at
+        # construction, not one per flit); shared with ``self.stats``.
+        stats_reg = self.stats
+        self._ctr_gt_flits_in = stats_reg.counter("gt_flits_in")
+        self._ctr_be_flits_in = stats_reg.counter("be_flits_in")
+        self._ctr_gt_flits_out = stats_reg.counter("gt_flits_out")
+        self._ctr_be_flits_out = stats_reg.counter("be_flits_out")
+        self._ctr_gt_conflicts = stats_reg.counter("gt_conflicts")
+        self._ctr_be_backpressure = stats_reg.counter("be_backpressure_stalls")
+        self._ctr_slot_mismatches = stats_reg.counter(
+            "slot_reservation_mismatches")
+        self._rate_flits_out = stats_reg.rate("flits_out")
 
     # ---------------------------------------------------------------- wiring
     def connect_input(self, port: int, link: Link) -> None:
@@ -82,6 +109,8 @@ class Router(ClockedComponent):
         link.sink = self
         link.sink_port = port
         self.in_links[port] = link
+        self._wired_in_links = [(p, l) for p, l in enumerate(self.in_links)
+                                if l is not None]
 
     def connect_output(self, port: int, link: Link) -> None:
         self._check_port(port)
@@ -119,23 +148,22 @@ class Router(ClockedComponent):
 
     # -------------------------------------------------------------- incoming
     def _accept_incoming(self, cycle: int) -> None:
-        for port, link in enumerate(self.in_links):
-            if link is None:
-                continue
+        for port, link in self._wired_in_links:
             flit = link.take()
             if flit is None:
                 continue
             state = self._inputs[port]
             if flit.is_gt:
                 state.gt_queue.append(flit)
-                self.stats.counter("gt_flits_in").increment()
-                self._check_slot_reservation(port, flit, cycle)
+                self._ctr_gt_flits_in.increment()
+                if self.slot_table is not None:
+                    self._check_slot_reservation(port, flit, cycle)
             else:
                 if len(state.be_queue) >= self.be_buffer_flits:
                     raise BufferOverflowError(
                         f"router {self.name}: BE buffer overflow at input {port}")
                 state.be_queue.append(flit)
-                self.stats.counter("be_flits_in").increment()
+                self._ctr_be_flits_in.increment()
 
     def _check_slot_reservation(self, port: int, flit: Flit, cycle: int) -> None:
         """In the distributed model, verify the arriving GT flit owns its slot."""
@@ -145,19 +173,37 @@ class Router(ClockedComponent):
         output = flit.packet.peek_route()
         owner = self.slot_table.owner(output, slot)
         if owner is not None and owner != flit.packet.header.channel_key:
-            self.stats.counter("slot_reservation_mismatches").increment()
-            self.tracer.record(0, self.name, "slot_mismatch",
+            self._ctr_slot_mismatches.increment()
+            self.tracer.record(self._now_ps(), self.name, "slot_mismatch",
                                slot=slot, output=output,
                                owner=owner,
                                channel=flit.packet.header.channel_key)
 
+    def _now_ps(self) -> int:
+        """Current simulation time for trace events (0 when unclocked)."""
+        return self.sim.now if self.sim is not None else 0
+
     # ------------------------------------------------------------ forwarding
     def _forward(self, cycle: int) -> None:
-        used_outputs = self._forward_gt(cycle)
-        self._forward_be(cycle, used_outputs)
+        self._forward_gt(cycle)
+        self._forward_be(cycle)
 
-    def _forward_gt(self, cycle: int) -> set:
-        requests: Dict[int, List[int]] = {}
+    def _forward_gt(self, cycle: int) -> None:
+        """Forward one GT flit per requested output.
+
+        The per-cycle request dict of the original implementation is
+        replaced by flat per-output arrays stamped with a private monotonic
+        tick stamp, so the common cycles (zero or one GT request) allocate
+        nothing.  Conflicting requests (two inputs wanting one output) keep
+        the original semantics: counted once per output per cycle, fatal
+        under ``strict_gt``, first-requesting (lowest) input wins otherwise.
+        """
+        self._tick_stamp += 1
+        stamp = self._tick_stamp
+        claim = self._gt_claim_stamp
+        first = self._gt_first_port
+        conflicted = self._gt_conflict_stamp
+        any_request = False
         for port, state in enumerate(self._inputs):
             if not state.gt_queue:
                 continue
@@ -169,38 +215,53 @@ class Router(ClockedComponent):
                     raise SlotConflictError(
                         f"router {self.name}: GT body flit with no active output")
                 output = state.gt_active_output
-            requests.setdefault(output, []).append(port)
-        used = set()
-        for output, ports in sorted(requests.items()):
-            if len(ports) > 1:
-                self.stats.counter("gt_conflicts").increment()
+            if claim[output] != stamp:
+                claim[output] = stamp
+                first[output] = port
+                any_request = True
+            elif conflicted[output] != stamp:
+                conflicted[output] = stamp
+                self._ctr_gt_conflicts.increment()
                 if self.strict_gt:
                     keys = [self._inputs[p].gt_queue[0].packet.header.channel_key
-                            for p in ports]
+                            for p in (first[output], port)]
                     raise SlotConflictError(
-                        f"router {self.name}: GT slot conflict on output {output} "
-                        f"in cycle {cycle} between channels {keys}")
-            port = ports[0]
-            self._send_flit(port, output, gt=True, cycle=cycle)
-            used.add(output)
-        return used
-
-    def _forward_be(self, cycle: int, used_outputs: set) -> None:
+                        f"router {self.name}: GT slot conflict on output "
+                        f"{output} in cycle {cycle} between channels {keys}")
+        if not any_request:
+            return
         for output in range(self.num_ports):
-            if output in used_outputs:
+            if claim[output] == stamp:
+                self._send_flit(first[output], output, gt=True, cycle=cycle)
+
+    def _forward_be(self, cycle: int) -> None:
+        """Wormhole-forward BE flits to every output GT left unused.
+
+        Rotating-index scan: instead of materializing a candidates list per
+        output per cycle, walk the input ports from the round-robin pointer
+        (or pin the scan to the locked input while a packet is in flight).
+        """
+        inputs = self._inputs
+        num_ports = self.num_ports
+        claim = self._gt_claim_stamp
+        stamp = self._tick_stamp
+        locked_by_output = self._be_output_locked_input
+        for output in range(num_ports):
+            if claim[output] == stamp:       # GT used this output this cycle
                 continue
             link = self.out_links[output]
             if link is None:
                 continue
-            locked = self._be_output_locked_input[output]
+            locked = locked_by_output[output]
             if locked is not None:
-                candidates = [locked]
+                start, count, rotate = locked, 1, False
             else:
-                start = self._be_rr_pointer[output]
-                candidates = [(start + k) % self.num_ports
-                              for k in range(self.num_ports)]
-            for port in candidates:
-                state = self._inputs[port]
+                start, count, rotate = self._be_rr_pointer[output], num_ports, True
+            for offset in range(count):
+                port = start + offset
+                if port >= num_ports:
+                    port -= num_ports
+                state = inputs[port]
                 if not state.be_queue:
                     continue
                 flit = state.be_queue[0]
@@ -213,11 +274,13 @@ class Router(ClockedComponent):
                 if desired != output:
                     continue
                 if not link.can_send_be():
-                    self.stats.counter("be_backpressure_stalls").increment()
+                    self._ctr_be_backpressure.increment()
                     break
                 self._send_flit(port, output, gt=False, cycle=cycle)
-                if locked is None:
-                    self._be_rr_pointer[output] = (port + 1) % self.num_ports
+                if rotate:
+                    pointer = port + 1
+                    self._be_rr_pointer[output] = (
+                        0 if pointer >= num_ports else pointer)
                 break
 
     def _send_flit(self, port: int, output: int, gt: bool, cycle: int) -> None:
@@ -246,12 +309,16 @@ class Router(ClockedComponent):
                 state.be_active_output = None
                 self._be_output_locked_input[output] = None
         link.send(flit)
-        kind = "gt" if gt else "be"
-        self.stats.counter(f"{kind}_flits_out").increment()
-        self.stats.rate("flits_out").add(cycle)
-        self.tracer.record(0, self.name, "forward",
-                           input=port, output=output, traffic=kind,
-                           packet=flit.packet.packet_id, flit=flit.index)
+        if gt:
+            self._ctr_gt_flits_out.increment()
+        else:
+            self._ctr_be_flits_out.increment()
+        self._rate_flits_out.add(cycle)
+        if self.tracer.enabled:
+            self.tracer.record(self._now_ps(), self.name, "forward",
+                               input=port, output=output,
+                               traffic="gt" if gt else "be",
+                               packet=flit.packet.packet_id, flit=flit.index)
 
     # ------------------------------------------------------------- inspection
     def buffered_flits(self) -> int:

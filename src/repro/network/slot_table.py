@@ -32,6 +32,10 @@ class SlotTable:
         self.size = size
         self._entries: List[Optional[Hashable]] = [None] * size
         self._reserved = 0
+        #: Bumped on every mutation; hot-path readers (the NI kernel's
+        #: slot->channel cache) compare it instead of re-reading the table
+        #: every cycle.  See PERFORMANCE.md ("hot path").
+        self.version = 0
 
     # -------------------------------------------------------------- mutation
     def reserve(self, slot: int, owner: Hashable) -> None:
@@ -47,12 +51,14 @@ class SlotTable:
         if current is None:
             self._reserved += 1
         self._entries[slot] = owner
+        self.version += 1
 
     def release(self, slot: int) -> None:
         self._check_slot(slot)
         if self._entries[slot] is not None:
             self._reserved -= 1
         self._entries[slot] = None
+        self.version += 1
 
     def release_owner(self, owner: Hashable) -> int:
         """Release every slot owned by ``owner``; returns how many were freed."""
@@ -62,11 +68,13 @@ class SlotTable:
                 self._entries[slot] = None
                 freed += 1
         self._reserved -= freed
+        self.version += 1
         return freed
 
     def clear(self) -> None:
-        self._entries = [None] * self.size
+        self._entries[:] = [None] * self.size
         self._reserved = 0
+        self.version += 1
 
     # --------------------------------------------------------------- queries
     def owner(self, slot: int) -> Optional[Hashable]:

@@ -13,7 +13,7 @@ import pytest
 
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 _RUN_PERF = os.path.join(_REPO_ROOT, "benchmarks", "perf", "run_perf.py")
-_SCENARIOS = ("idle_mesh", "saturated_mix", "bus_vs_noc")
+_SCENARIOS = ("idle_mesh", "saturated_mix", "saturated_grid", "bus_vs_noc")
 
 
 def _run(args, tmp_path):
