@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-quick check
+.PHONY: test test-all bench bench-quick check examples
 
 test:            ## fast test tier (tier-1 minus slow)
 	$(PYTHON) -m pytest -q -m "not slow"
+
+examples:        ## run every example as a smoke test
+	@for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) $$example > /dev/null || exit 1; \
+	done; echo "examples: OK"
 
 test-all:        ## full test suite including slow equivalence runs
 	$(PYTHON) -m pytest -q
@@ -15,5 +21,5 @@ bench:           ## full perf suite; rewrites the tracked BENCH_PERF.json
 bench-quick:     ## perf smoke test (does not touch BENCH_PERF.json)
 	$(PYTHON) benchmarks/perf/run_perf.py --quick --output /tmp/bench_quick.json
 
-check:           ## fast tests + perf smoke + perf floors (CI gate)
+check:           ## fast tests + examples + perf smoke + floors + staleness (CI gate)
 	bash scripts/check.sh

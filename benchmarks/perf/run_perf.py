@@ -22,6 +22,11 @@ For every scenario the harness verifies that both engine modes produce an
 identical result fingerprint (statistics, latencies), then records median
 wall time and executed-event counts.
 
+The systems themselves come from the scenario registry
+(:mod:`repro.api.scenarios`): the perf suite and the functional tests share
+one definition per scenario, so a perf number always describes the same
+system a test exercises.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output PATH]
@@ -46,22 +51,10 @@ _SRC = os.path.join(_REPO_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.api import SystemBuilder, scenarios
 from repro.baselines.bus import SharedBus
-from repro.config.connection import (
-    ChannelEndpointRef,
-    ChannelPairSpec,
-    ConnectionSpec,
-)
-from repro.core.shells.master import MasterShell
-from repro.core.shells.point_to_point import PointToPointShell
-from repro.core.shells.slave import SlaveShell
-from repro.design.generator import build_system
-from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
-from repro.ip.master import TrafficGeneratorMaster
-from repro.ip.slave import MemorySlave
 from repro.ip.traffic import ConstantBitRateTraffic
 from repro.sim.clock import always_tick
-from repro.testbench import build_gt_be_mix
 
 DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_PERF.json")
 
@@ -78,38 +71,13 @@ def _normalize(obj):
 
 
 # --------------------------------------------------------------------------
-# Scenarios: each returns (fingerprint, executed_events)
+# Scenarios: each returns (fingerprint, executed_events).  The systems come
+# from the shared registry in repro.api.scenarios; this file only decides
+# how long to run them and what to fingerprint.
 # --------------------------------------------------------------------------
-def _attach_p2p_pair(system, master_ni: str, slave_ni: str,
-                     pattern: ConstantBitRateTraffic) -> TrafficGeneratorMaster:
-    """Wire a traffic-generating master and a memory slave onto two NIs."""
-    conn = PointToPointShell(f"{master_ni}_conn",
-                             system.kernel(master_ni).port("p"),
-                             role="master")
-    shell = MasterShell(f"{master_ni}_shell", conn)
-    master = TrafficGeneratorMaster(f"{master_ni}_ip", shell, pattern=pattern)
-    clock = system.port_clock(master_ni, "p")
-    for component in (master, shell, conn):
-        clock.add_component(component)
-    slave_conn = PointToPointShell(f"{slave_ni}_conn",
-                                   system.kernel(slave_ni).port("p"),
-                                   role="slave")
-    memory = MemorySlave(f"{slave_ni}_mem")
-    slave_shell = SlaveShell(f"{slave_ni}_shell", slave_conn, memory)
-    slave_clock = system.port_clock(slave_ni, "p")
-    for component in (slave_conn, slave_shell, memory):
-        slave_clock.add_component(component)
-    return master
-
-
 def scenario_idle_mesh(cycles: int) -> Tuple[object, int]:
     """A 4x4 mesh, one NI per router, zero traffic."""
-    nis = [NISpec(name=f"ni{r}_{c}", router=(r, c),
-                  ports=[PortSpec(name="p", kind="master", shell=None,
-                                  channels=[ChannelSpec(8, 8)])])
-           for r in range(4) for c in range(4)]
-    spec = NoCSpec(name="idle_mesh", topology="mesh", rows=4, cols=4, nis=nis)
-    system = build_system(spec)
+    system = scenarios.build("idle_mesh", rows=4, cols=4)
     system.run_flit_cycles(cycles)
     fingerprint = _normalize({
         "now": system.sim.now,
@@ -120,20 +88,18 @@ def scenario_idle_mesh(cycles: int) -> Tuple[object, int]:
 
 def scenario_saturated_mix(cycles: int) -> Tuple[object, int]:
     """GT + BE pairs saturating one shared inter-router link (E10 shape)."""
-    tb = build_gt_be_mix(num_gt=2, num_be=2, gt_slots=2,
-                         gt_pattern_period=8, be_pattern_period=4,
-                         burst_words=4)
-    tb.run_flit_cycles(cycles)
+    system = scenarios.build("saturated_mix")
+    system.run_flit_cycles(cycles)
     fingerprint = _normalize({
-        pair.name: {
-            "latency": pair.master.latency_summary(),
-            "master": pair.master.stats.summary(),
-            "kernel": tb.system.kernel(pair.master_ni).stats.summary(),
-            "slave_kernel": tb.system.kernel(pair.slave_ni).stats.summary(),
+        name: {
+            "latency": system.master(name).latency_summary(),
+            "master": system.master(name).stats.summary(),
+            "kernel": system.kernel(system.master(name).ni).stats.summary(),
+            "slave_kernel": system.kernel(f"s{name[1:]}").stats.summary(),
         }
-        for pair in tb.pairs
+        for name in sorted(system.masters)
     })
-    return fingerprint, tb.system.sim.executed_events
+    return fingerprint, system.sim.executed_events
 
 
 def scenario_saturated_grid(cycles: int) -> Tuple[object, int]:
@@ -145,49 +111,14 @@ def scenario_saturated_grid(cycles: int) -> Tuple[object, int]:
     with reserved slots, odd rows best-effort; the BE arbiters cycle through
     round-robin, weighted round-robin and queue-fill across the NIs.
     """
-    rows = cols = 6
-    arbiters = ("round_robin", "weighted_round_robin", "queue_fill")
-    ni_specs = []
-    pair_names = []
-    index = 0
-    for row in range(rows):
-        gt = row % 2 == 0
-        for k in range(2):
-            master_ni, slave_ni = f"m{row}_{k}", f"s{row}_{k}"
-            pair_names.append((master_ni, slave_ni, gt))
-            for name, router, kind in ((master_ni, (row, k), "master"),
-                                       (slave_ni, (row, cols - 2 + k),
-                                        "slave")):
-                ni_specs.append(NISpec(
-                    name=name, router=router,
-                    be_arbiter=arbiters[index % len(arbiters)],
-                    ports=[PortSpec(name="p", kind=kind, shell="p2p",
-                                    channels=[ChannelSpec(8, 8)])]))
-                index += 1
-    spec = NoCSpec(name="saturated_grid", topology="mesh", rows=rows,
-                   cols=cols, nis=ni_specs)
-    system = build_system(spec)
-    configurator = system.functional_configurator()
-    masters = []
-    for master_ni, slave_ni, gt in pair_names:
-        pattern = ConstantBitRateTraffic(period_cycles=8 if gt else 4,
-                                         burst_words=4, write=True,
-                                         posted=True)
-        masters.append(_attach_p2p_pair(system, master_ni, slave_ni, pattern))
-        configurator.open_connection(system.noc, ConnectionSpec(
-            name=f"c_{master_ni}", kind="p2p",
-            pairs=[ChannelPairSpec(
-                master=ChannelEndpointRef(master_ni, 0),
-                slave=ChannelEndpointRef(slave_ni, 0),
-                request_gt=gt, request_slots=2 if gt else 0,
-                response_gt=gt, response_slots=2 if gt else 0)]))
+    system = scenarios.build("saturated_grid")
     system.run_flit_cycles(cycles)
     fingerprint = _normalize({
         "flits": system.noc.total_flits_forwarded(),
         "kernels": {name: kernel.stats.summary()
                     for name, kernel in system.kernels.items()},
-        "latencies": {master.name: master.latency_summary()
-                      for master in masters},
+        "latencies": {handle.ip.name: handle.latency_summary()
+                      for handle in system.masters.values()},
     })
     return fingerprint, system.sim.executed_events
 
@@ -198,30 +129,18 @@ def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
     bus = SharedBus.uniform(num_masters, period_cycles=64, burst_words=4)
     bus_result = bus.simulate(max(cycles * 3, 1))
 
-    cols = num_masters + 1
-    ni_specs = []
-    for index in range(num_masters):
-        ni_specs.append(NISpec(
-            name=f"m{index}", router=(0, index),
-            ports=[PortSpec(name="p", kind="master", shell="p2p",
-                            channels=[ChannelSpec(8, 8)])]))
-        ni_specs.append(NISpec(
-            name=f"s{index}", router=(0, index + 1),
-            ports=[PortSpec(name="p", kind="slave", shell="p2p",
-                            channels=[ChannelSpec(8, 8)])]))
-    spec = NoCSpec(name="bus_vs_noc", topology="mesh", rows=1, cols=cols,
-                   nis=ni_specs)
-    system = build_system(spec)
-    configurator = system.functional_configurator()
+    builder = SystemBuilder("bus_vs_noc").mesh(1, num_masters + 1)
     for index in range(num_masters):
         master_ni, slave_ni = f"m{index}", f"s{index}"
-        pattern = ConstantBitRateTraffic(period_cycles=64, burst_words=4,
-                                         write=True, posted=True)
-        _attach_p2p_pair(system, master_ni, slave_ni, pattern)
-        configurator.open_connection(system.noc, ConnectionSpec(
-            name=f"c{index}", kind="p2p",
-            pairs=[ChannelPairSpec(master=ChannelEndpointRef(master_ni, 0),
-                                   slave=ChannelEndpointRef(slave_ni, 0))]))
+        builder.add_master(master_ni, router=(0, index),
+                           ip_name=f"{master_ni}_ip",
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=64, burst_words=4,
+                               write=True, posted=True))
+        builder.add_memory(slave_ni, router=(0, index + 1),
+                           ip_name=f"{slave_ni}_mem")
+        builder.connect(master_ni, slave_ni, name=f"c{index}")
+    system = builder.build()
     system.run_flit_cycles(cycles)
     fingerprint = _normalize({
         "bus": bus_result.as_row(),

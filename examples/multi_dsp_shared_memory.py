@@ -2,45 +2,60 @@
 
 The narrowcast connection (Figure 3) gives a master "a simple, low-cost
 solution for a single shared address space mapped on multiple memories".
-Here a DSP-like master scatters coefficient blocks across four memory tiles,
-reads them back through the same flat address space, and the example reports
-the per-tile traffic split plus the silicon area of the NI instance that
-provides all of this (Section 5 area model).
+Here a DSP-like master scatters coefficient blocks across four memory tiles
+declared through the SystemBuilder narrowcast form of ``connect`` — one
+master, several slaves, one address range per tile — reads them back through
+the same flat address space, and the example reports the per-tile traffic
+split plus the silicon area of the NI instance that provides all of this
+(Section 5 area model).
 
 Run with:  python examples/multi_dsp_shared_memory.py
 """
 
+from repro.api import SystemBuilder
 from repro.design.area import AreaModel
 from repro.design.spec import reference_ni_spec
 from repro.protocol.transactions import Transaction
-from repro.testbench import build_narrowcast
 
 
 def main() -> None:
     num_tiles = 4
     tile_words = 512
-    tb = build_narrowcast(num_slaves=num_tiles, range_words=tile_words,
-                          rows=2, cols=2)
+    tile_bytes = tile_words * 4
+
+    builder = (SystemBuilder("multi_dsp")
+               .mesh(2, 2)
+               .add_master("dsp", router=(0, 0)))
+    tiles = [(r, c) for r in range(2) for c in range(2)]
+    for index in range(num_tiles):
+        builder.add_memory(f"tile{index}",
+                           router=tiles[(index + 1) % len(tiles)],
+                           words=tile_bytes)
+    builder.connect("dsp", [f"tile{i}" for i in range(num_tiles)],
+                    narrowcast_ranges=[(i * tile_bytes, tile_bytes)
+                                       for i in range(num_tiles)])
+    system = builder.build()
 
     # Scatter 16 coefficient blocks across the flat address space.
+    dsp = system.master("dsp")
     blocks = {}
     for block in range(16):
         address = block * 128 * 4          # blocks land on alternating tiles
         data = [block * 100 + i for i in range(8)]
         blocks[address] = data
-        tb.master.issue(Transaction.write(address, data))
+        dsp.issue(Transaction.write(address, data))
     # Read every block back.
     for address in blocks:
-        tb.master.issue(Transaction.read(address, length=8))
-    tb.run_until_done(max_flit_cycles=80000)
+        dsp.issue(Transaction.read(address, length=8))
+    system.run_until_idle(max_flit_cycles=80000)
 
-    reads = [t for t in tb.master.completed if t.is_read]
+    reads = [t for t in dsp.completed if t.is_read]
     correct = sum(t.response.read_data == blocks[t.address] for t in reads)
     print(f"Blocks written and read back correctly: {correct}/{len(blocks)}")
     print("Per-tile write traffic (words):",
-          [memory.memory.writes for memory in tb.memories])
+          [system.memory(f"tile{i}").memory.writes for i in range(num_tiles)])
     print("Mean transaction latency:",
-          f"{tb.master.latency_summary()['mean']:.1f} port cycles")
+          f"{dsp.latency_summary()['mean']:.1f} port cycles")
 
     # What does the NI providing this cost in silicon?  (Section 5 model.)
     report = AreaModel().ni_area(reference_ni_spec())

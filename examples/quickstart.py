@@ -1,31 +1,34 @@
 """Quickstart: a master IP talking to a memory through the Aethereal NI.
 
-Builds the smallest useful system — one traffic-generating master, one memory
-slave, two NIs on a 1x2 mesh — opens a best-effort connection, performs a few
-shared-memory transactions and prints what happened.
+The whole system — simulator, 1x2 mesh, two NIs, shells, master, memory and
+an open best-effort connection — is declared in one fluent SystemBuilder
+chain; the master is then driven by hand and the system runs until the
+engine is idle.
 
 Run with:  python examples/quickstart.py
 """
 
+from repro.api import SystemBuilder
 from repro.protocol.transactions import Transaction
-from repro.testbench import build_point_to_point
 
 
 def main() -> None:
-    # One call assembles the simulator, the NoC, both NIs, the shells, the
-    # master and the memory, and opens the (BE) connection.  No background
-    # traffic pattern: we drive the master by hand.
-    tb = build_point_to_point(max_transactions=0)
+    system = (SystemBuilder("quickstart")
+              .mesh(1, 2)
+              .add_master("cpu", router=(0, 0))
+              .add_memory("mem", router=(0, 1))
+              .connect("cpu", "mem")
+              .build())
 
-    # The master IP sees a shared-memory abstraction: plain reads and writes.
-    tb.master.issue(Transaction.write(0x100, [0xCAFE, 0xBEEF, 0x1234]))
-    tb.master.issue(Transaction.write(0x200, [7, 8], posted=True))
-    tb.master.issue(Transaction.read(0x100, length=3))
+    cpu = system.master("cpu")
+    cpu.issue(Transaction.write(0x100, [0xCAFE, 0xBEEF, 0x1234]))
+    cpu.issue(Transaction.write(0x200, [7, 8], posted=True))
+    cpu.issue(Transaction.read(0x100, length=3))
 
-    tb.run_until_done()
+    cycles = system.run_until_idle()
 
-    print("Transactions completed:")
-    for txn in tb.master.completed:
+    print(f"Transactions completed (idle after {cycles} flit cycles):")
+    for txn in cpu.completed:
         result = ""
         if txn.is_read:
             result = f" -> {[hex(w) for w in txn.response.read_data]}"
@@ -34,12 +37,12 @@ def main() -> None:
               f"port cycles{result}")
 
     print("\nMemory contents at 0x100:",
-          [hex(w) for w in tb.memory.memory.read_burst(0x100, 3)])
+          [hex(w) for w in system.memory("mem").memory.read_burst(0x100, 3)])
 
-    master_kernel = tb.system.kernel(tb.master_ni).stats
     print("\nNI kernel statistics (master side):")
+    kernel_stats = system.kernel(cpu.ni).stats
     for name in ("be_packets_sent", "words_sent", "credits_received"):
-        print(f"  {name:<20} {master_kernel.counter(name).value}")
+        print(f"  {name:<20} {kernel_stats.counter(name).value}")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,14 @@ A centralized configuration module bootstraps its configuration connections
 to the CNIPs of two data NIs, opens a guaranteed connection between them by
 sending DTL-MMIO register writes over the network, uses the connection, then
 closes it and opens a different one — the partial reconfiguration scenario of
-Section 3.
+Section 3.  The Figure 8 system comes from the ``config_system`` scenario of
+the registry; the data endpoints are attached by hand, as an integrator
+would.
 
 Run with:  python examples/runtime_reconfiguration.py
 """
 
+from repro.api import scenarios
 from repro.config.connection import (
     ChannelEndpointRef,
     ChannelPairSpec,
@@ -19,12 +22,10 @@ from repro.core.shells.point_to_point import PointToPointShell
 from repro.core.shells.slave import SlaveShell
 from repro.ip.slave import MemorySlave
 from repro.protocol.transactions import Transaction
-from repro.testbench import build_config_system
 
 
-def attach_data_endpoints(tb):
+def attach_data_endpoints(system):
     """Attach a master IP to ni1 and a memory slave to ni2 (data channel 0)."""
-    system = tb.system
     master_conn = PointToPointShell("b_conn", system.kernel("ni1").port("data"),
                                     role="master", conn=0)
     master_shell = MasterShell("b_shell", master_conn)
@@ -40,13 +41,13 @@ def attach_data_endpoints(tb):
 
 
 def main() -> None:
-    tb = build_config_system(num_data_nis=2)
-    cycles = tb.run_until_config_idle()
+    system = scenarios.build("config_system", num_data_nis=2)
+    cycles = system.run_until_idle(predicate=system.config_shell.is_idle)
     print("Step 1+2 (Figure 9): configuration connections bootstrapped")
-    print(f"  register writes issued : {tb.bootstrap_operations}")
+    print(f"  register writes issued : {system.bootstrap_operations}")
     print(f"  completed after        : {cycles} flit cycles")
 
-    master_shell, memory = attach_data_endpoints(tb)
+    master_shell, memory = attach_data_endpoints(system)
 
     spec = ConnectionSpec(
         name="b_to_a", kind="p2p",
@@ -54,8 +55,8 @@ def main() -> None:
                                slave=ChannelEndpointRef("ni2", 1),
                                request_gt=True, request_slots=2,
                                response_gt=True, response_slots=1)])
-    handle = tb.manager.open_connection(spec)
-    cycles = tb.run_until_config_idle()
+    handle = system.config_manager.open_connection(spec)
+    cycles = system.run_until_idle(predicate=system.config_shell.is_idle)
     print("\nStep 3+4 (Figure 9): GT connection B->A opened over the NoC")
     print(f"  register writes        : {handle.register_writes} "
           f"({handle.register_writes_per_ni})")
@@ -64,7 +65,7 @@ def main() -> None:
 
     master_shell.submit(Transaction.write(0x20, [1, 2, 3, 4]))
     master_shell.submit(Transaction.read(0x20, length=4))
-    tb.run_flit_cycles(1500)
+    system.run_flit_cycles(1500)
     completed = master_shell.poll_completed()
     print("\nTraffic over the new connection:")
     for txn in completed:
@@ -72,11 +73,11 @@ def main() -> None:
         print(f"  {txn.command.name} @0x{txn.address:x}{extra}")
     print(f"  memory now holds {memory.memory.read_burst(0x20, 4)}")
 
-    close_handle = tb.manager.close_connection(spec)
-    tb.run_until_config_idle()
+    close_handle = system.config_manager.close_connection(spec)
+    system.run_until_idle(predicate=system.config_shell.is_idle)
     print("\nConnection closed again (partial reconfiguration):")
     print(f"  register writes        : {close_handle.register_writes}")
-    kernel = tb.system.kernel("ni1")
+    kernel = system.kernel("ni1")
     print(f"  ni1 channel 1 enabled  : {kernel.channel(1).regs.enabled}")
     print(f"  ni1 GT slots in use    : {kernel.slot_table.slots_of(1)}")
 

@@ -1,37 +1,46 @@
 """Video pixel-processing pipeline on a guaranteed-throughput connection.
 
 The paper motivates chained point-to-point connections with video pixel
-processing (Section 4.2).  This example streams video lines from a producer
-to a line memory over a GT connection, checks that the measured throughput,
-latency and jitter respect the analytic guarantees of Section 2, and shows
-what happens to a best-effort connection sharing the same link.
+processing (Section 4.2).  This example declares the whole GT system in one
+SystemBuilder chain, streams video lines from a producer to a line memory,
+checks that the measured throughput, latency and jitter respect the analytic
+guarantees of Section 2, and reads the reserved TDMA slots back off the
+connection handle.
 
 Run with:  python examples/video_pipeline.py
 """
 
 from repro.analysis.guarantees import GTGuarantees
 from repro.analysis.verification import verify_latency, verify_throughput
+from repro.api import SystemBuilder
 from repro.ip.traffic import VideoLineTraffic
-from repro.testbench import build_point_to_point
 
 
 def main() -> None:
     pattern = VideoLineTraffic(pixels_per_line=48, burst_words=8,
                                cycles_per_burst=24, blanking_cycles=48)
-    tb = build_point_to_point(gt=True, request_slots=3, response_slots=1,
-                              queue_words=16, pattern=pattern,
-                              max_transactions=240)
+    system = (SystemBuilder("video_pipeline")
+              .mesh(1, 2)
+              .add_master("producer", router=(0, 0), pattern=pattern,
+                          max_transactions=240, queue_words=16)
+              .add_memory("line_mem", router=(0, 1), queue_words=16)
+              .connect("producer", "line_mem", name="stream", gt=True,
+                       request_slots=3, response_slots=1)
+              .build())
+    producer = system.master("producer")
+    line_mem = system.memory("line_mem")
 
     warmup, window = 240, 1200
-    slave_kernel = tb.system.kernel(tb.slave_ni)
-    tb.run_flit_cycles(warmup)
+    slave_kernel = system.kernel(line_mem.ni)
+    system.run_flit_cycles(warmup)
     words_before = slave_kernel.stats.counter("words_received").value
-    tb.run_flit_cycles(window)
+    system.run_flit_cycles(window)
     words_after = slave_kernel.stats.counter("words_received").value
-    tb.run_until_done(max_flit_cycles=40000)
+    system.run_until_idle(max_flit_cycles=40000)
 
-    slots = tb.slot_assignment[(tb.master_ni, 0)]
-    hops = tb.noc.hop_count(tb.master_ni, tb.slave_ni)
+    stream = system.connection("stream")
+    slots = stream.slot_assignment[(producer.ni, 0)]
+    hops = system.noc.hop_count(producer.ni, line_mem.ni)
     guarantees = GTGuarantees(slot_pattern=slots, num_slots=8, hops=hops,
                               packet_flits=3)
 
@@ -60,8 +69,8 @@ def main() -> None:
         print(f"  {row['check']:<32} measured={row['measured']:<6} "
               f"bound={row['bound']:<6} {status}")
 
-    print(f"\nVideo lines delivered: {tb.memory.memory.writes} pixel words, "
-          f"{len(tb.master.completed)} bursts")
+    print(f"\nVideo lines delivered: {line_mem.memory.writes} pixel words, "
+          f"{len(producer.completed)} bursts")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# One-command repo gate: fast test tier + quick perf smoke + perf floors.
+# One-command repo gate: fast test tier + examples smoke + quick perf smoke
+# + perf floors + BENCH_PERF.json staleness.
 #
 #   scripts/check.sh        (or: make check)
 #
-# Fails if any fast-tier test fails, if the quick benchmark cannot
-# reproduce identical results across engine modes, or if
+# Fails if any fast-tier test fails, if an example crashes, if the quick
+# benchmark cannot reproduce identical results across engine modes, if
 # idle_mesh.event_reduction drops below 10x in either the fresh quick run
-# or the tracked BENCH_PERF.json.
+# or the tracked BENCH_PERF.json, or if engine/hot-path files changed
+# without BENCH_PERF.json being regenerated.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +16,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests (fast tier) =="
 python -m pytest -q -m "not slow"
+
+echo "== examples smoke =="
+for example in examples/*.py; do
+  echo "  running $example"
+  python "$example" > /dev/null
+done
 
 quick_json="$(mktemp /tmp/bench_quick.XXXXXX.json)"
 trap 'rm -f "$quick_json"' EXIT
@@ -44,5 +52,38 @@ for label, path in (("quick run", sys.argv[1]),
 if failures:
     sys.exit(f"idle_mesh.event_reduction below {FLOOR}x in: {failures}")
 EOF
+
+echo "== BENCH_PERF.json staleness =="
+# Paths whose changes affect the tracked perf numbers: a commit (or working
+# tree) touching them without regenerating BENCH_PERF.json is stale.
+ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
+              src/repro/design src/repro/ip src/repro/testbench.py
+              benchmarks/perf/run_perf.py)
+if git rev-parse --git-dir >/dev/null 2>&1; then
+  stale=""
+  # Uncommitted engine edits require an uncommitted (fresh) BENCH_PERF.json.
+  if ! git diff --quiet HEAD -- "${ENGINE_PATHS[@]}" 2>/dev/null; then
+    if git diff --quiet HEAD -- BENCH_PERF.json 2>/dev/null; then
+      stale="uncommitted engine changes without a regenerated BENCH_PERF.json"
+    fi
+  else
+    engine_commit="$(git rev-list -1 HEAD -- "${ENGINE_PATHS[@]}" || true)"
+    bench_commit="$(git rev-list -1 HEAD -- BENCH_PERF.json || true)"
+    if [[ -n "$engine_commit" ]]; then
+      if [[ -z "$bench_commit" ]] || ! git merge-base --is-ancestor \
+           "$engine_commit" "$bench_commit" 2>/dev/null; then
+        stale="engine files last changed in ${engine_commit:0:12} but BENCH_PERF.json was not regenerated since"
+      fi
+    fi
+  fi
+  if [[ -n "$stale" ]]; then
+    echo "  STALE: $stale" >&2
+    echo "  run: PYTHONPATH=src python benchmarks/perf/run_perf.py" >&2
+    exit 1
+  fi
+  echo "  BENCH_PERF.json is current"
+else
+  echo "  (not a git checkout; staleness check skipped)"
+fi
 
 echo "check: OK"

@@ -1,0 +1,42 @@
+"""Declarative front-door API: SystemBuilder, System and scenarios.
+
+``repro.api`` is the recommended way to assemble simulated systems::
+
+    from repro.api import SystemBuilder
+
+    system = (SystemBuilder("quickstart")
+              .mesh(1, 2)
+              .add_master("cpu", router=(0, 0))
+              .add_memory("mem", router=(0, 1))
+              .connect("cpu", "mem")
+              .build())
+    system.run_until_idle()
+
+Ready-made systems live in the scenario registry::
+
+    from repro.api import scenarios
+
+    system = scenarios.build("ring", num_pairs=4)
+
+See ``BUILDING.md`` at the repository root for the full walk-through.
+"""
+
+from repro.api import scenarios
+from repro.api.builder import (
+    BuilderError,
+    ConnectionInfo,
+    MasterHandle,
+    MemoryHandle,
+    System,
+    SystemBuilder,
+)
+
+__all__ = [
+    "BuilderError",
+    "ConnectionInfo",
+    "MasterHandle",
+    "MemoryHandle",
+    "System",
+    "SystemBuilder",
+    "scenarios",
+]

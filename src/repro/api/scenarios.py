@@ -1,0 +1,418 @@
+"""Scenario registry: named, parameterized system descriptions.
+
+One definition per scenario, shared by the functional tests, the examples
+and the performance benchmark suite (``benchmarks/perf/run_perf.py``).  Each
+scenario is a factory that declares a system through
+:class:`~repro.api.builder.SystemBuilder` and returns the built
+:class:`~repro.api.builder.System`::
+
+    from repro.api import scenarios
+
+    system = scenarios.build("gt_be_mix", num_gt=2, num_be=2)
+    system.run_flit_cycles(1000)
+
+The four classic set-ups of the paper's experiments are registered
+(``point_to_point``, ``gt_be_mix``, ``narrowcast``, ``config_system``) —
+the legacy ``repro.testbench`` builders are thin wrappers over these —
+plus newer workloads: a ``ring`` topology pipeline, ``hotspot`` traffic
+into one shared memory (multi-connection shell), a seeded ``random_system``
+generator, and the perf-suite shapes ``idle_mesh``, ``saturated_mix`` and
+``saturated_grid``.
+
+Register your own with the decorator::
+
+    from repro.api.scenarios import scenario
+
+    @scenario("my_setup", description="...", tags=("functional",))
+    def _my_setup(**params):
+        return SystemBuilder("my_setup")...build()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.builder import (
+    DEFAULT_PORT_CLOCK_MHZ,
+    System,
+    SystemBuilder,
+)
+from repro.ip.traffic import (
+    BurstyTraffic,
+    ConstantBitRateTraffic,
+    RandomTraffic,
+    TrafficPattern,
+)
+
+
+class ScenarioError(KeyError):
+    """Raised for unknown scenario names."""
+
+
+@dataclass
+class Scenario:
+    """A registered scenario: factory plus metadata."""
+
+    name: str
+    factory: Callable[..., System]
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, **params) -> System:
+        merged = dict(self.defaults)
+        merged.update(params)
+        return self.factory(**merged)
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str = "",
+             tags: Tuple[str, ...] = (),
+             **defaults) -> Callable[[Callable[..., System]],
+                                     Callable[..., System]]:
+    """Decorator registering a scenario factory under ``name``."""
+
+    def decorator(factory: Callable[..., System]) -> Callable[..., System]:
+        register(name, factory, description=description, tags=tags,
+                 **defaults)
+        return factory
+
+    return decorator
+
+
+def register(name: str, factory: Callable[..., System],
+             description: str = "", tags: Tuple[str, ...] = (),
+             **defaults) -> Scenario:
+    """Register (or replace) a scenario factory under ``name``."""
+    entry = Scenario(name=name, factory=factory, description=description,
+                     tags=tuple(tags), defaults=dict(defaults))
+    _REGISTRY[name] = entry
+    return entry
+
+
+def get(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ScenarioError(
+            f"unknown scenario {name!r} (registered: {known})") from None
+
+
+def names(tag: Optional[str] = None) -> List[str]:
+    """Registered scenario names, optionally filtered by tag."""
+    return sorted(name for name, entry in _REGISTRY.items()
+                  if tag is None or tag in entry.tags)
+
+
+def build(name: str, **params) -> System:
+    """Build the named scenario with the given parameter overrides."""
+    return get(name).build(**params)
+
+
+def describe() -> List[Tuple[str, str, Tuple[str, ...]]]:
+    """(name, description, tags) rows for every registered scenario."""
+    return [(entry.name, entry.description, entry.tags)
+            for _, entry in sorted(_REGISTRY.items())]
+
+
+# ---------------------------------------------------------------------------
+# The four classic set-ups (the legacy testbench builders wrap these)
+# ---------------------------------------------------------------------------
+@scenario("point_to_point",
+          description="One master talking to one memory over a small mesh "
+                      "(GT or BE) — the E2/E4/E5 shape.",
+          tags=("functional", "classic"))
+def _point_to_point(gt: bool = False, request_slots: int = 2,
+                    response_slots: int = 2, num_slots: int = 8,
+                    rows: int = 1, cols: int = 2, queue_words: int = 8,
+                    max_packet_words: int = 23, data_threshold: int = 1,
+                    credit_threshold: int = 1,
+                    be_arbiter: str = "round_robin",
+                    port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
+                    slave_latency: int = 1,
+                    pattern: Optional[TrafficPattern] = None,
+                    max_transactions: Optional[int] = None,
+                    memory_words: int = 0,
+                    seq_latency_cycles: int = 2) -> System:
+    if pattern is None:
+        pattern = ConstantBitRateTraffic(period_cycles=16, burst_words=4,
+                                         write=True)
+    return (SystemBuilder("p2p_tb")
+            .mesh(rows, cols, num_slots=num_slots)
+            .add_master("master", router=(0, 0), ni="ni_m",
+                        shell_name="m_shell", conn_name="m_conn",
+                        pattern=pattern, max_transactions=max_transactions,
+                        queue_words=queue_words, clock_mhz=port_clock_mhz,
+                        seq_latency_cycles=seq_latency_cycles,
+                        num_slots=num_slots, be_arbiter=be_arbiter,
+                        max_packet_words=max_packet_words)
+            .add_memory("memory", router=(0, cols - 1), ni="ni_s",
+                        shell_name="s_shell", conn_name="s_conn",
+                        words=memory_words, latency=slave_latency,
+                        queue_words=queue_words, clock_mhz=port_clock_mhz,
+                        num_slots=num_slots, be_arbiter=be_arbiter,
+                        max_packet_words=max_packet_words)
+            .connect("master", "memory", name="tb", gt=gt,
+                     request_slots=request_slots if gt else None,
+                     response_slots=response_slots if gt else None,
+                     data_threshold=data_threshold,
+                     credit_threshold=credit_threshold)
+            .build())
+
+
+@scenario("gt_be_mix",
+          description="Guaranteed and best-effort master/slave pairs whose "
+                      "traffic shares one inter-router link (experiment E10).",
+          tags=("functional", "classic"))
+def _gt_be_mix(num_gt: int = 1, num_be: int = 1, gt_slots: int = 2,
+               num_slots: int = 8, queue_words: int = 8,
+               gt_pattern_period: int = 12, be_pattern_period: int = 6,
+               burst_words: int = 4,
+               port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
+               posted_writes: bool = True) -> System:
+    if num_gt < 0 or num_be < 0 or num_gt + num_be == 0:
+        raise ValueError("need at least one traffic pair")
+    builder = SystemBuilder("mix_tb").mesh(1, 2, num_slots=num_slots)
+    for index in range(num_gt + num_be):
+        gt = index < num_gt
+        master_ni, slave_ni = f"m{index}", f"s{index}"
+        period = gt_pattern_period if gt else be_pattern_period
+        builder.add_master(master_ni, router=(0, 0),
+                           ip_name=f"{master_ni}_ip",
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period, burst_words=burst_words,
+                               write=True, posted=posted_writes),
+                           queue_words=queue_words,
+                           clock_mhz=port_clock_mhz, num_slots=num_slots)
+        builder.add_memory(slave_ni, router=(0, 1), ip_name=f"{slave_ni}_mem",
+                           queue_words=queue_words,
+                           clock_mhz=port_clock_mhz, num_slots=num_slots)
+        # A guaranteed connection reserves slots for both directions so its
+        # credits also return on reserved slots (otherwise best-effort
+        # congestion on the reverse link would throttle the GT channel).
+        builder.connect(master_ni, slave_ni, name=f"conn_{master_ni}",
+                        gt=gt, slots=gt_slots)
+    return builder.build()
+
+
+@scenario("narrowcast",
+          description="One master whose shared address space is split over "
+                      "several memories (experiment E11, Figure 3).",
+          tags=("functional", "classic"))
+def _narrowcast(num_slaves: int = 2, range_words: int = 1024,
+                rows: int = 1, cols: int = 2, num_slots: int = 8,
+                queue_words: int = 8,
+                port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
+                slave_latency: int = 1) -> System:
+    if num_slaves < 1:
+        raise ValueError("narrowcast needs at least one slave")
+    mesh_nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    builder = (SystemBuilder("narrowcast_tb")
+               .mesh(rows, cols, num_slots=num_slots)
+               .add_master("master", router=(0, 0), ni="ni_m",
+                           shell_name="m_shell", conn_name="narrowcast",
+                           queue_words=queue_words,
+                           clock_mhz=port_clock_mhz, num_slots=num_slots))
+    slave_names = []
+    for index in range(num_slaves):
+        name = f"ni_s{index}"
+        slave_names.append(name)
+        builder.add_memory(name,
+                           router=mesh_nodes[(index + 1) % len(mesh_nodes)],
+                           ip_name=f"{name}_mem",
+                           words=range_words * 4, latency=slave_latency,
+                           queue_words=queue_words,
+                           clock_mhz=port_clock_mhz, num_slots=num_slots)
+    ranges = [(index * range_words * 4, range_words * 4)
+              for index in range(num_slaves)]
+    builder.connect("master", slave_names, name="narrowcast",
+                    narrowcast_ranges=ranges)
+    return builder.build()
+
+
+@scenario("config_system",
+          description="A centralized configuration module plus data NIs "
+                      "with CNIPs, bootstrapped as in Figure 9 (E6/E7).",
+          tags=("functional", "classic", "config"))
+def _config_system(num_data_nis: int = 2, num_slots: int = 8,
+                   queue_words: int = 8, data_channels_per_ni: int = 2,
+                   port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
+                   rows: int = 1, cols: int = 2) -> System:
+    mesh_nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    builder = (SystemBuilder("config_tb")
+               .mesh(rows, cols, num_slots=num_slots)
+               .configuration("centralized")
+               .add_config_module("cfg", router=(0, 0), port="cfg",
+                                  queue_words=queue_words,
+                                  clock_mhz=port_clock_mhz,
+                                  num_slots=num_slots))
+    for index in range(num_data_nis):
+        builder.add_node(f"ni{index + 1}",
+                         router=mesh_nodes[(index + 1) % len(mesh_nodes)],
+                         cnip=True, channels=data_channels_per_ni,
+                         port="data", queue_words=queue_words,
+                         clock_mhz=port_clock_mhz, num_slots=num_slots)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# New workloads
+# ---------------------------------------------------------------------------
+@scenario("ring",
+          description="Master/memory pairs around a ring topology; each "
+                      "request crosses several ring hops.",
+          tags=("functional",))
+def _ring(num_pairs: int = 3, hops: int = 3, gt: bool = False,
+          slots: int = 2, num_slots: int = 8, period_cycles: int = 8,
+          burst_words: int = 4,
+          max_transactions: Optional[int] = 25) -> System:
+    if num_pairs < 1:
+        raise ValueError("ring needs at least one pair")
+    num_routers = max(2 * num_pairs, 3)
+    builder = SystemBuilder("ring").ring(num_routers, num_slots=num_slots)
+    for index in range(num_pairs):
+        source = (2 * index) % num_routers
+        target = (source + hops) % num_routers
+        builder.add_master(f"m{index}", router=source,
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               posted=True,
+                               base_address=index << 16),
+                           max_transactions=max_transactions)
+        builder.add_memory(f"mem{index}", router=target)
+        builder.connect(f"m{index}", f"mem{index}", gt=gt, slots=slots)
+    return builder.build()
+
+
+@scenario("hotspot",
+          description="Several masters hammering one shared memory behind a "
+                      "multi-connection shell (Figure 4).",
+          tags=("functional",))
+def _hotspot(num_masters: int = 4, rows: int = 2, cols: int = 2,
+             period_cycles: int = 6, burst_words: int = 4,
+             max_transactions: Optional[int] = 20,
+             scheduling: str = "queue_fill",
+             memory_latency: int = 1) -> System:
+    if num_masters < 2:
+        raise ValueError("a hotspot needs at least two masters")
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    builder = (SystemBuilder("hotspot")
+               .mesh(rows, cols)
+               .add_memory("hot", router=nodes[-1], scheduling=scheduling,
+                           latency=memory_latency))
+    for index in range(num_masters):
+        builder.add_master(f"m{index}", router=nodes[index % len(nodes)],
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               base_address=index << 16),
+                           max_transactions=max_transactions)
+        builder.connect(f"m{index}", "hot")
+    return builder.build()
+
+
+@scenario("random_system",
+          description="A seeded random mesh, pair count, traffic mix and "
+                      "GT/BE split — deterministic per seed.",
+          tags=("functional", "fuzz"))
+def _random_system(seed: int = 1, max_pairs: int = 4,
+                   transactions_per_master: Optional[int] = None) -> System:
+    rng = random.Random(seed)
+    rows = rng.randint(1, 3)
+    cols = rng.randint(2, 3)
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    num_pairs = rng.randint(1, max(1, max_pairs))
+    builder = SystemBuilder(f"random_{seed}").mesh(rows, cols)
+    for index in range(num_pairs):
+        gt = rng.random() < 0.5
+        kind = rng.randrange(3)
+        if kind == 0:
+            pattern: TrafficPattern = ConstantBitRateTraffic(
+                period_cycles=rng.choice([4, 6, 8, 12, 16]),
+                burst_words=rng.choice([1, 2, 4, 8]),
+                write=rng.random() < 0.8, posted=rng.random() < 0.5,
+                base_address=index << 16)
+        elif kind == 1:
+            pattern = BurstyTraffic(on_cycles=rng.randint(2, 6),
+                                    off_cycles=rng.randint(4, 16),
+                                    burst_words=rng.choice([1, 2, 4]),
+                                    write=True, posted=rng.random() < 0.5,
+                                    base_address=index << 16)
+        else:
+            pattern = RandomTraffic(
+                injection_probability=rng.uniform(0.05, 0.3),
+                burst_words=rng.choice([1, 2, 4]),
+                read_fraction=rng.uniform(0.0, 0.5),
+                base_address=index << 16,
+                seed=rng.randrange(1 << 16))
+        builder.add_master(
+            f"m{index}", router=rng.choice(nodes), pattern=pattern,
+            max_transactions=(transactions_per_master
+                              if transactions_per_master is not None
+                              else rng.randint(5, 25)))
+        builder.add_memory(f"mem{index}", router=rng.choice(nodes),
+                           latency=rng.randint(0, 2))
+        builder.connect(f"m{index}", f"mem{index}", gt=gt,
+                        slots=rng.randint(1, 2) if gt else None)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Perf-suite shapes (benchmarks/perf/run_perf.py builds these by name)
+# ---------------------------------------------------------------------------
+@scenario("idle_mesh",
+          description="A rows x cols mesh, one idle NI per router, zero "
+                      "traffic — the idle-skip best case.",
+          tags=("perf",))
+def _idle_mesh(rows: int = 4, cols: int = 4,
+               queue_words: int = 8) -> System:
+    builder = SystemBuilder("idle_mesh").mesh(rows, cols)
+    for r in range(rows):
+        for c in range(cols):
+            builder.add_node(f"ni{r}_{c}", router=(r, c), port="p",
+                             channels=1, queue_words=queue_words)
+    return builder.build()
+
+
+#: ``saturated_mix`` is the E10 mix at saturating rates — one definition,
+#: shared with the functional ``gt_be_mix`` scenario.
+register("saturated_mix", _gt_be_mix,
+         description="The E10 GT+BE mix at saturating injection rates "
+                     "(perf-suite shape of gt_be_mix).",
+         tags=("perf",),
+         num_gt=2, num_be=2, gt_slots=2,
+         gt_pattern_period=8, be_pattern_period=4, burst_words=4)
+
+
+@scenario("saturated_grid",
+          description="A 6x6 mesh under saturating mixed GT/BE load with "
+                      "all three BE arbiters (perf-suite hot-path shape).",
+          tags=("perf",))
+def _saturated_grid(rows: int = 6, cols: int = 6) -> System:
+    arbiters = ("round_robin", "weighted_round_robin", "queue_fill")
+    builder = SystemBuilder("saturated_grid").mesh(rows, cols)
+    index = 0
+    for row in range(rows):
+        gt = row % 2 == 0
+        for k in range(2):
+            master_ni, slave_ni = f"m{row}_{k}", f"s{row}_{k}"
+            pattern = ConstantBitRateTraffic(period_cycles=8 if gt else 4,
+                                             burst_words=4, write=True,
+                                             posted=True)
+            builder.add_master(master_ni, router=(row, k),
+                               ip_name=f"{master_ni}_ip", pattern=pattern,
+                               be_arbiter=arbiters[index % len(arbiters)])
+            index += 1
+            builder.add_memory(slave_ni, router=(row, cols - 2 + k),
+                               ip_name=f"{slave_ni}_mem",
+                               be_arbiter=arbiters[index % len(arbiters)])
+            index += 1
+            builder.connect(master_ni, slave_ni, name=f"c_{master_ni}",
+                            gt=gt, slots=2)
+    return builder.build()

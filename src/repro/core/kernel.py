@@ -267,6 +267,27 @@ class NIKernel(ClockedComponent):
                 return False
         return True
 
+    def is_quiescent(self) -> bool:
+        """True when ticking only *observes* state (no data in flight).
+
+        Weaker than :meth:`is_idle`: a kernel holding GT slot reservations
+        is never idle (the ``gt_slots_unused`` counter must be sampled every
+        cycle to match always-tick statistics), but once no flit, word or
+        credit is in flight anywhere near it, further ticks change nothing a
+        workload can see.  ``SystemModel.run_until_idle`` uses this to stop
+        GT systems, whose event queue never drains, without polling
+        overshoot.
+        """
+        if self._gt_flits or self._be_flits:
+            return False
+        from_network = self.from_network
+        if from_network is not None and from_network.occupancy:
+            return False
+        for channel in self.channels:
+            if channel.potentially_active():
+                return False
+        return True
+
     # --------------------------------------------------------------- receive
     def _receive(self, cycle: int) -> None:
         if self.from_network is None:

@@ -69,6 +69,53 @@ class SystemModel:
         self.start()
         self.sim.run_for(int(nanoseconds * 1000))
 
+    def functionally_idle(self) -> bool:
+        """True when no component can change workload-visible state.
+
+        Every clock is either asleep or drives only components that are
+        idle — except NI kernels holding GT slot reservations, which by
+        contract tick forever to sample ``gt_slots_unused``; those count as
+        done once quiescent (nothing in flight, see
+        ``NIKernel.is_quiescent``).
+        """
+        clocks = [self.noc.flit_clock, *self.port_clocks.values()]
+        for clock in clocks:
+            if clock.sleeping:
+                continue
+            for component in clock._components:
+                if component.is_idle():
+                    continue
+                quiescent = getattr(component, "is_quiescent", None)
+                if quiescent is None or not quiescent():
+                    return False
+        return True
+
+    def run_until_idle(self, max_flit_cycles: int = 200000,
+                       predicate=None) -> int:
+        """Run until the simulator is idle; returns elapsed flit cycles.
+
+        "Idle" is engine-level: the event queue drained (every
+        activity-driven clock went to sleep), the system became
+        :meth:`functionally_idle` (GT systems keep a reservation-sampling
+        tick alive forever, so their queue never drains), or the optional
+        ``predicate`` returned True between event timestamps.  This replaces
+        the seed-era pattern of polling a done-flag in 50-cycle chunks,
+        which overshot completion by up to a chunk.  ``max_flit_cycles``
+        bounds the run for systems that never quiesce (e.g. always-tick
+        mode or infinite traffic patterns).
+        """
+        self.start()
+        period = self.noc.flit_clock.period_ps
+        start = self.sim.now
+        if predicate is None:
+            stop = self.functionally_idle
+        else:
+            def stop():
+                return predicate() or self.functionally_idle()
+        self.sim.run_until_idle(until=start + max_flit_cycles * period,
+                                predicate=stop)
+        return -(-(self.sim.now - start) // period)
+
 
 def _build_topology(spec: NoCSpec) -> Topology:
     if spec.topology == "mesh":

@@ -222,6 +222,37 @@ class Simulator:
         """Run for ``duration`` picoseconds from the current time."""
         self.run(until=self._now + duration)
 
+    def run_until_idle(self, until: Optional[int] = None,
+                       predicate: Optional[Callable[[], bool]] = None) -> bool:
+        """Run until the event queue drains; returns True when it did.
+
+        With activity-driven clocks an idle system has an *empty* queue, so
+        queue exhaustion is the engine-level definition of "everything is
+        quiescent" — no polling in coarse cycle chunks, no overshoot.  Unlike
+        :meth:`run`, time is left at the last executed event rather than
+        being advanced to ``until``, so callers can stack further runs
+        without phantom idle time.
+
+        ``until`` (inclusive, in ps) bounds the run; events scheduled later
+        stay queued and False is returned.  ``predicate`` is an optional
+        early-exit check evaluated between event timestamps (never mid
+        timestamp, so cycle semantics stay intact): when it returns True the
+        run stops and returns True even though events remain — this is how
+        always-tick systems, whose clocks reschedule forever, still support
+        idleness-style waits.
+        """
+        if predicate is not None and predicate():
+            return True
+        while True:
+            nxt = self._peek_time()
+            if nxt is None:
+                return True
+            if until is not None and nxt > until:
+                return False
+            self.run(until=nxt)
+            if predicate is not None and predicate():
+                return True
+
     def _peek_time(self) -> Optional[int]:
         """Timestamp of the next live event (discards cancelled heads)."""
         queue = self._queue

@@ -1,9 +1,12 @@
-"""Ready-made simulated systems.
+"""Ready-made simulated systems (legacy wrappers).
 
 The examples, tests and experiment benchmarks all need complete systems:
 master IPs behind master shells, slave memories behind slave shells, NIs
-attached to a NoC, connections opened and slots allocated.  The builders in
-this module assemble the most common set-ups:
+attached to a NoC, connections opened and slots allocated.  Since the
+declarative :mod:`repro.api` redesign these builders are thin wrappers over
+the scenario registry (:mod:`repro.api.scenarios`) — one definition per
+set-up, shared with the examples and the perf suite — kept for API
+compatibility and convenient handle dataclasses:
 
 * :func:`build_point_to_point` — one traffic-generating master talking to one
   memory slave over a small mesh (GT or BE);
@@ -15,6 +18,11 @@ this module assemble the most common set-ups:
 * :func:`build_config_system` — a configuration module plus two data NIs,
   with the configuration connections bootstrapped exactly as in Figure 9 so
   connections can then be opened over the NoC itself (experiments E6/E7).
+
+The ``run_until_done`` helpers now delegate to the engine-idleness-driven
+:meth:`~repro.design.generator.SystemModel.run_until_idle` instead of
+polling a done-flag in coarse cycle chunks; the ``step`` parameters remain
+accepted for compatibility but are ignored.
 """
 
 from __future__ import annotations
@@ -22,42 +30,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.config.connection import (
-    ChannelEndpointRef,
-    ChannelPairSpec,
-    ConnectionSpec,
-)
-from repro.config.manager import (
-    CentralizedConfigurationManager,
-    FunctionalConfigurator,
-)
-from repro.core.kernel import NIKernel
-from repro.core.registers import (
-    REG_CTRL,
-    REG_PATH,
-    REG_REMOTE_QID,
-    REG_SPACE,
-    channel_register_address,
-    encode_ctrl,
-    encode_path,
-)
-from repro.core.shells.base import ConnectionShell
+# Re-exported for backwards compatibility (historically defined here).
+from repro.api import System, scenarios
+from repro.api.builder import DEFAULT_PORT_CLOCK_MHZ
+from repro.config.bootstrap import bootstrap_configuration_connection
+from repro.config.connection import ConnectionSpec
+from repro.config.manager import CentralizedConfigurationManager
 from repro.core.shells.config_shell import ConfigShell, ConfigurationSlave
 from repro.core.shells.master import MasterShell
-from repro.core.shells.multiconnection import MultiConnectionShell
-from repro.core.shells.narrowcast import AddressRange, NarrowcastShell
+from repro.core.shells.narrowcast import NarrowcastShell
 from repro.core.shells.point_to_point import PointToPointShell
 from repro.core.shells.slave import SlaveShell
-from repro.design.generator import SystemModel, build_system
-from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
+from repro.design.generator import SystemModel
 from repro.ip.master import TrafficGeneratorMaster
-from repro.ip.memory import SharedMemory
 from repro.ip.slave import MemorySlave
-from repro.ip.traffic import ConstantBitRateTraffic, TrafficPattern
+from repro.ip.traffic import TrafficPattern
 
-#: Default word-side clock of the IP ports: one word per 500 MHz cycle keeps
-#: the shells able to feed the 3-word flit cycle of the network exactly.
-DEFAULT_PORT_CLOCK_MHZ = 500.0
+__all__ = [
+    "DEFAULT_PORT_CLOCK_MHZ",
+    "PointToPointTestbench",
+    "TrafficPairHandle",
+    "GtBeMixTestbench",
+    "NarrowcastTestbench",
+    "ConfigTestbench",
+    "bootstrap_configuration_connection",
+    "build_point_to_point",
+    "build_gt_be_mix",
+    "build_narrowcast",
+    "build_config_system",
+]
+
 
 
 # ---------------------------------------------------------------------------
@@ -78,6 +80,8 @@ class PointToPointTestbench:
     memory: MemorySlave
     spec: ConnectionSpec
     slot_assignment: Dict[Tuple[str, int], List[int]] = field(default_factory=dict)
+    #: The richer handle of the declarative builder this wrapper sits on.
+    api: Optional[System] = None
 
     # ------------------------------------------------------------- shortcuts
     @property
@@ -99,14 +103,14 @@ class PointToPointTestbench:
 
     def run_until_done(self, max_flit_cycles: int = 20000,
                        step: int = 50) -> int:
-        """Run until the master has no outstanding work; returns flit cycles."""
-        ran = 0
-        while ran < max_flit_cycles:
-            self.run_flit_cycles(step)
-            ran += step
-            if self.master.done():
-                break
-        return ran
+        """Run until the system is idle; returns elapsed flit cycles.
+
+        Driven by engine idleness (the event queue draining) instead of the
+        seed-era 50-cycle done-flag polling, so there is no overshoot past
+        completion.  ``step`` is accepted for compatibility and ignored.
+        """
+        del step
+        return self.system.run_until_idle(max_flit_cycles)
 
 
 def build_point_to_point(gt: bool = False,
@@ -127,72 +131,24 @@ def build_point_to_point(gt: bool = False,
                          seq_latency_cycles: int = 2
                          ) -> PointToPointTestbench:
     """Assemble a master -> slave system on a ``rows x cols`` mesh."""
-    master_ni, slave_ni = "ni_m", "ni_s"
-    spec = NoCSpec(
-        name="p2p_tb", topology="mesh", rows=rows, cols=cols,
-        num_slots=num_slots,
-        nis=[
-            NISpec(name=master_ni, router=(0, 0), num_slots=num_slots,
-                   be_arbiter=be_arbiter, max_packet_words=max_packet_words,
-                   ports=[PortSpec(name="p", kind="master", shell="p2p",
-                                   clock_mhz=port_clock_mhz,
-                                   channels=[ChannelSpec(queue_words,
-                                                         queue_words)])]),
-            NISpec(name=slave_ni, router=(0, cols - 1), num_slots=num_slots,
-                   be_arbiter=be_arbiter, max_packet_words=max_packet_words,
-                   ports=[PortSpec(name="p", kind="slave", shell="p2p",
-                                   clock_mhz=port_clock_mhz,
-                                   channels=[ChannelSpec(queue_words,
-                                                         queue_words)])]),
-        ])
-    system = build_system(spec)
-
-    # Master side.
-    master_clock = system.port_clock(master_ni, "p")
-    master_conn_shell = PointToPointShell("m_conn", system.kernel(master_ni).port("p"),
-                                          role="master")
-    master_shell = MasterShell("m_shell", master_conn_shell,
-                               seq_latency_cycles=seq_latency_cycles)
-    if pattern is None:
-        pattern = ConstantBitRateTraffic(period_cycles=16, burst_words=4,
-                                         write=True)
-    master = TrafficGeneratorMaster("master", master_shell, pattern=pattern,
-                                    max_transactions=max_transactions)
-    for component in (master, master_shell, master_conn_shell):
-        master_clock.add_component(component)
-
-    # Slave side.
-    slave_clock = system.port_clock(slave_ni, "p")
-    slave_conn_shell = PointToPointShell("s_conn", system.kernel(slave_ni).port("p"),
-                                         role="slave")
-    memory = MemorySlave("memory", memory=SharedMemory(memory_words),
-                         latency_cycles=slave_latency)
-    slave_shell = SlaveShell("s_shell", slave_conn_shell, memory)
-    for component in (slave_conn_shell, slave_shell, memory):
-        slave_clock.add_component(component)
-
-    # Open the connection (functionally: this testbench is not about the
-    # configuration path; build_config_system exercises that).
-    connection = ConnectionSpec(
-        name="tb", kind="p2p",
-        pairs=[ChannelPairSpec(
-            master=ChannelEndpointRef(master_ni, 0),
-            slave=ChannelEndpointRef(slave_ni, 0),
-            request_gt=gt, request_slots=request_slots if gt else 0,
-            response_gt=gt, response_slots=response_slots if gt else 0,
-            data_threshold=data_threshold,
-            credit_threshold=credit_threshold)])
-    configurator = system.functional_configurator()
-    configurator.open_connection(system.noc, connection)
-    assignment = (system.allocator.assignment_map()
-                  if system.allocator is not None else {})
-
+    api = scenarios.build(
+        "point_to_point", gt=gt, request_slots=request_slots,
+        response_slots=response_slots, num_slots=num_slots, rows=rows,
+        cols=cols, queue_words=queue_words, max_packet_words=max_packet_words,
+        data_threshold=data_threshold, credit_threshold=credit_threshold,
+        be_arbiter=be_arbiter, port_clock_mhz=port_clock_mhz,
+        slave_latency=slave_latency, pattern=pattern,
+        max_transactions=max_transactions, memory_words=memory_words,
+        seq_latency_cycles=seq_latency_cycles)
+    master = api.master("master")
+    memory = api.memory("memory")
     return PointToPointTestbench(
-        system=system, master_ni=master_ni, slave_ni=slave_ni,
-        master=master, master_shell=master_shell,
-        master_conn_shell=master_conn_shell,
-        slave_conn_shell=slave_conn_shell, slave_shell=slave_shell,
-        memory=memory, spec=connection, slot_assignment=assignment)
+        system=api.model, master_ni=master.ni, slave_ni=memory.ni,
+        master=master.ip, master_shell=master.shell,
+        master_conn_shell=master.conn_shell,
+        slave_conn_shell=memory.conn_shell, slave_shell=memory.shell,
+        memory=memory.ip, spec=api.connection("tb").spec,
+        slot_assignment=api.slot_assignment, api=api)
 
 
 # ---------------------------------------------------------------------------
@@ -218,9 +174,17 @@ class GtBeMixTestbench:
 
     system: SystemModel
     pairs: List[TrafficPairHandle]
+    #: The richer handle of the declarative builder this wrapper sits on.
+    api: Optional[System] = None
 
     def run_flit_cycles(self, cycles: int) -> None:
         self.system.run_flit_cycles(cycles)
+
+    def run_until_done(self, max_flit_cycles: int = 40000,
+                       step: int = 100) -> int:
+        """Run until idle (engine-driven; ``step`` ignored, see above)."""
+        del step
+        return self.system.run_until_idle(max_flit_cycles)
 
     def gt_pairs(self) -> List[TrafficPairHandle]:
         return [p for p in self.pairs if p.gt]
@@ -242,71 +206,22 @@ def build_gt_be_mix(num_gt: int = 1, num_be: int = 1,
                     port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
                     posted_writes: bool = True) -> GtBeMixTestbench:
     """Masters on router (0,0), slaves on router (0,1), one pair per master."""
-    if num_gt < 0 or num_be < 0 or num_gt + num_be == 0:
-        raise ValueError("need at least one traffic pair")
-    ni_specs: List[NISpec] = []
-    names: List[Tuple[str, str, bool]] = []
-    for index in range(num_gt + num_be):
-        gt = index < num_gt
-        master_ni = f"m{index}"
-        slave_ni = f"s{index}"
-        names.append((master_ni, slave_ni, gt))
-        ni_specs.append(NISpec(
-            name=master_ni, router=(0, 0), num_slots=num_slots,
-            ports=[PortSpec(name="p", kind="master", shell="p2p",
-                            clock_mhz=port_clock_mhz,
-                            channels=[ChannelSpec(queue_words, queue_words)])]))
-        ni_specs.append(NISpec(
-            name=slave_ni, router=(0, 1), num_slots=num_slots,
-            ports=[PortSpec(name="p", kind="slave", shell="p2p",
-                            clock_mhz=port_clock_mhz,
-                            channels=[ChannelSpec(queue_words, queue_words)])]))
-    spec = NoCSpec(name="mix_tb", topology="mesh", rows=1, cols=2,
-                   num_slots=num_slots, nis=ni_specs)
-    system = build_system(spec)
-    configurator = system.functional_configurator()
-
+    api = scenarios.build(
+        "gt_be_mix", num_gt=num_gt, num_be=num_be, gt_slots=gt_slots,
+        num_slots=num_slots, queue_words=queue_words,
+        gt_pattern_period=gt_pattern_period,
+        be_pattern_period=be_pattern_period, burst_words=burst_words,
+        port_clock_mhz=port_clock_mhz, posted_writes=posted_writes)
     pairs: List[TrafficPairHandle] = []
-    for master_ni, slave_ni, gt in names:
-        master_clock = system.port_clock(master_ni, "p")
-        conn_shell = PointToPointShell(f"{master_ni}_conn",
-                                       system.kernel(master_ni).port("p"),
-                                       role="master")
-        master_shell = MasterShell(f"{master_ni}_shell", conn_shell)
-        period = gt_pattern_period if gt else be_pattern_period
-        pattern = ConstantBitRateTraffic(period_cycles=period,
-                                         burst_words=burst_words,
-                                         write=True, posted=posted_writes)
-        master = TrafficGeneratorMaster(f"{master_ni}_ip", master_shell,
-                                        pattern=pattern)
-        for component in (master, master_shell, conn_shell):
-            master_clock.add_component(component)
-
-        slave_clock = system.port_clock(slave_ni, "p")
-        slave_conn = PointToPointShell(f"{slave_ni}_conn",
-                                       system.kernel(slave_ni).port("p"),
-                                       role="slave")
-        memory = MemorySlave(f"{slave_ni}_mem")
-        slave_shell = SlaveShell(f"{slave_ni}_shell", slave_conn, memory)
-        for component in (slave_conn, slave_shell, memory):
-            slave_clock.add_component(component)
-
-        # A guaranteed connection reserves slots for both directions so that
-        # its credits also return on reserved slots (otherwise best-effort
-        # congestion on the reverse link would throttle the GT channel).
-        connection = ConnectionSpec(
-            name=f"conn_{master_ni}", kind="p2p",
-            pairs=[ChannelPairSpec(
-                master=ChannelEndpointRef(master_ni, 0),
-                slave=ChannelEndpointRef(slave_ni, 0),
-                request_gt=gt, request_slots=gt_slots if gt else 0,
-                response_gt=gt, response_slots=gt_slots if gt else 0)])
-        configurator.open_connection(system.noc, connection)
+    for index in range(num_gt + num_be):
+        master_ni, slave_ni = f"m{index}", f"s{index}"
+        master = api.master(master_ni)
+        memory = api.memory(slave_ni)
         pairs.append(TrafficPairHandle(
-            name=master_ni, gt=gt, master_ni=master_ni, slave_ni=slave_ni,
-            master=master, master_shell=master_shell, memory=memory,
-            spec=connection))
-    return GtBeMixTestbench(system=system, pairs=pairs)
+            name=master_ni, gt=index < num_gt, master_ni=master_ni,
+            slave_ni=slave_ni, master=master.ip, master_shell=master.shell,
+            memory=memory.ip, spec=api.connection(f"conn_{master_ni}").spec))
+    return GtBeMixTestbench(system=api.model, pairs=pairs, api=api)
 
 
 # ---------------------------------------------------------------------------
@@ -324,19 +239,17 @@ class NarrowcastTestbench:
     slave_nis: List[str]
     range_words: int
     spec: ConnectionSpec
+    #: The richer handle of the declarative builder this wrapper sits on.
+    api: Optional[System] = None
 
     def run_flit_cycles(self, cycles: int) -> None:
         self.system.run_flit_cycles(cycles)
 
     def run_until_done(self, max_flit_cycles: int = 40000,
                        step: int = 100) -> int:
-        ran = 0
-        while ran < max_flit_cycles:
-            self.run_flit_cycles(step)
-            ran += step
-            if self.master.done():
-                break
-        return ran
+        """Run until idle (engine-driven; ``step`` ignored, see above)."""
+        del step
+        return self.system.run_until_idle(max_flit_cycles)
 
 
 def build_narrowcast(num_slaves: int = 2, range_words: int = 1024,
@@ -345,65 +258,18 @@ def build_narrowcast(num_slaves: int = 2, range_words: int = 1024,
                      port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
                      slave_latency: int = 1) -> NarrowcastTestbench:
     """Build a narrowcast system: requests are routed to a slave by address."""
-    if num_slaves < 1:
-        raise ValueError("narrowcast needs at least one slave")
-    master_ni = "ni_m"
+    api = scenarios.build(
+        "narrowcast", num_slaves=num_slaves, range_words=range_words,
+        rows=rows, cols=cols, num_slots=num_slots, queue_words=queue_words,
+        port_clock_mhz=port_clock_mhz, slave_latency=slave_latency)
+    master = api.master("master")
     slave_nis = [f"ni_s{i}" for i in range(num_slaves)]
-    mesh_nodes = [(r, c) for r in range(rows) for c in range(cols)]
-    ni_specs = [NISpec(
-        name=master_ni, router=(0, 0), num_slots=num_slots,
-        ports=[PortSpec(name="p", kind="master", shell="narrowcast",
-                        clock_mhz=port_clock_mhz,
-                        channels=[ChannelSpec(queue_words, queue_words)
-                                  for _ in range(num_slaves)])])]
-    for index, name in enumerate(slave_nis):
-        router = mesh_nodes[(index + 1) % len(mesh_nodes)]
-        ni_specs.append(NISpec(
-            name=name, router=router, num_slots=num_slots,
-            ports=[PortSpec(name="p", kind="slave", shell="p2p",
-                            clock_mhz=port_clock_mhz,
-                            channels=[ChannelSpec(queue_words, queue_words)])]))
-    spec = NoCSpec(name="narrowcast_tb", topology="mesh", rows=rows, cols=cols,
-                   num_slots=num_slots, nis=ni_specs)
-    system = build_system(spec)
-
-    # Master side: narrowcast shell decodes the address into a connection.
-    ranges = [AddressRange(base=i * range_words * 4, size=range_words * 4,
-                           conn=i) for i in range(num_slaves)]
-    master_clock = system.port_clock(master_ni, "p")
-    narrowcast_shell = NarrowcastShell("narrowcast",
-                                       system.kernel(master_ni).port("p"),
-                                       address_ranges=ranges)
-    master_shell = MasterShell("m_shell", narrowcast_shell)
-    master = TrafficGeneratorMaster("master", master_shell)
-    for component in (master, master_shell, narrowcast_shell):
-        master_clock.add_component(component)
-
-    # Slave side: one memory per slave NI.
-    memories: List[MemorySlave] = []
-    pairs: List[ChannelPairSpec] = []
-    for index, name in enumerate(slave_nis):
-        slave_clock = system.port_clock(name, "p")
-        slave_conn = PointToPointShell(f"{name}_conn",
-                                       system.kernel(name).port("p"),
-                                       role="slave")
-        memory = MemorySlave(f"{name}_mem", memory=SharedMemory(range_words * 4),
-                             latency_cycles=slave_latency)
-        slave_shell = SlaveShell(f"{name}_shell", slave_conn, memory)
-        for component in (slave_conn, slave_shell, memory):
-            slave_clock.add_component(component)
-        memories.append(memory)
-        pairs.append(ChannelPairSpec(
-            master=ChannelEndpointRef(master_ni, index),
-            slave=ChannelEndpointRef(name, 0)))
-
-    connection = ConnectionSpec(name="narrowcast", kind="narrowcast", pairs=pairs)
-    system.functional_configurator().open_connection(system.noc, connection)
-    return NarrowcastTestbench(system=system, master=master,
-                               master_shell=master_shell,
-                               narrowcast_shell=narrowcast_shell,
-                               memories=memories, slave_nis=slave_nis,
-                               range_words=range_words, spec=connection)
+    return NarrowcastTestbench(
+        system=api.model, master=master.ip, master_shell=master.shell,
+        narrowcast_shell=master.conn_shell,
+        memories=[api.memory(name).ip for name in slave_nis],
+        slave_nis=slave_nis, range_words=range_words,
+        spec=api.connection("narrowcast").spec, api=api)
 
 
 # ---------------------------------------------------------------------------
@@ -420,19 +286,23 @@ class ConfigTestbench:
     manager: CentralizedConfigurationManager
     cnip_slaves: Dict[str, ConfigurationSlave]
     bootstrap_operations: int
+    #: The richer handle of the declarative builder this wrapper sits on.
+    api: Optional[System] = None
 
     def run_flit_cycles(self, cycles: int) -> None:
         self.system.run_flit_cycles(cycles)
 
     def run_until_config_idle(self, max_flit_cycles: int = 20000,
                               step: int = 50) -> int:
-        ran = 0
-        while ran < max_flit_cycles:
-            self.run_flit_cycles(step)
-            ran += step
-            if self.config_shell.is_idle():
-                break
-        return ran
+        """Run until the configuration shell is idle; returns flit cycles.
+
+        Stops at event granularity (between simulator timestamps) the
+        moment the configuration shell drains — no 50-cycle overshoot.
+        ``step`` is accepted for compatibility and ignored.
+        """
+        del step
+        return self.system.run_until_idle(max_flit_cycles,
+                                          predicate=self.config_shell.is_idle)
 
 
 def build_config_system(num_data_nis: int = 2, num_slots: int = 8,
@@ -447,131 +317,13 @@ def build_config_system(num_data_nis: int = 2, num_slots: int = 8,
     port) and ``data_channels_per_ni`` further channels on a ``data`` port for
     the connections that will be opened over the NoC afterwards.
     """
-    cfg_ni = "cfg"
-    data_nis = [f"ni{i + 1}" for i in range(num_data_nis)]
-    mesh_nodes = [(r, c) for r in range(rows) for c in range(cols)]
-    # The CNIP destination queue must hold a whole configuration sequence:
-    # until the response channel of the configuration connection is enabled
-    # (the last write of Figure 9 step 2) no credits can be returned, so the
-    # outstanding configuration messages must fit in the remote buffer.
-    cnip_queue_words = max(queue_words, 16)
-    ni_specs = [NISpec(
-        name=cfg_ni, router=(0, 0), num_slots=num_slots,
-        ports=[PortSpec(name="cfg", kind="master", shell=None,
-                        clock_mhz=port_clock_mhz,
-                        channels=[ChannelSpec(cnip_queue_words, cnip_queue_words)
-                                  for _ in range(num_data_nis)])])]
-    for index, name in enumerate(data_nis):
-        router = mesh_nodes[(index + 1) % len(mesh_nodes)]
-        channels = [ChannelSpec(cnip_queue_words, cnip_queue_words)]  # CNIP
-        channels += [ChannelSpec(queue_words, queue_words)
-                     for _ in range(data_channels_per_ni)]
-        ni_specs.append(NISpec(
-            name=name, router=router, num_slots=num_slots,
-            ports=[PortSpec(name="cnip", kind="config", shell="config",
-                            clock_mhz=port_clock_mhz,
-                            channels=[channels[0]]),
-                   PortSpec(name="data", kind="master", shell=None,
-                            clock_mhz=port_clock_mhz,
-                            channels=channels[1:])]))
-    spec = NoCSpec(name="config_tb", topology="mesh", rows=rows, cols=cols,
-                   num_slots=num_slots, nis=ni_specs)
-    system = build_system(spec)
-
-    # The configuration shell at the cfg NI (master role, one connection per
-    # remote CNIP).
-    cfg_clock = system.port_clock(cfg_ni, "cfg")
-    cfg_conn_shell = ConnectionShell("cfg_conn", system.kernel(cfg_ni).port("cfg"),
-                                     role="master")
-    remote_conns = {name: index for index, name in enumerate(data_nis)}
-    config_shell = ConfigShell("cfg_shell", local_kernel=system.kernel(cfg_ni),
-                               shell=cfg_conn_shell, remote_conns=remote_conns)
-    cfg_clock.add_component(cfg_conn_shell)
-    cfg_clock.add_component(config_shell)
-
-    # The CNIP of every data NI: a slave shell whose IP is the register file.
-    cnip_slaves: Dict[str, ConfigurationSlave] = {}
-    for name in data_nis:
-        clock = system.port_clock(name, "cnip")
-        conn = PointToPointShell(f"{name}_cnip_conn",
-                                 system.kernel(name).port("cnip"), role="slave")
-        slave = ConfigurationSlave(system.kernel(name))
-        shell = SlaveShell(f"{name}_cnip_shell", conn, slave)
-        clock.add_component(conn)
-        clock.add_component(shell)
-        cnip_slaves[name] = slave
-
-    # Bootstrap the configuration connections (Figure 9, steps 1 and 2).
-    bootstrap_ops = 0
-    for index, name in enumerate(data_nis):
-        bootstrap_ops += bootstrap_configuration_connection(
-            config_shell=config_shell,
-            noc=system.noc,
-            local_kernel=system.kernel(cfg_ni),
-            local_channel=index,
-            remote_name=name,
-            remote_kernel=system.kernel(name),
-            remote_channel=0)
-    manager = CentralizedConfigurationManager(
-        noc=system.noc, kernels=system.kernels, config_shell=config_shell,
-        allocator=system.allocator)
-    return ConfigTestbench(system=system, cfg_ni=cfg_ni, data_nis=data_nis,
-                           config_shell=config_shell, manager=manager,
-                           cnip_slaves=cnip_slaves,
-                           bootstrap_operations=bootstrap_ops)
-
-
-def bootstrap_configuration_connection(config_shell: ConfigShell,
-                                       noc, local_kernel: NIKernel,
-                                       local_channel: int,
-                                       remote_name: str,
-                                       remote_kernel: NIKernel,
-                                       remote_channel: int) -> int:
-    """Open the configuration connection itself (Figure 9, steps 1 and 2).
-
-    Step 1 sets up the request channel (configuration module to the remote
-    CNIP) by writing registers of the *local* NI directly through the
-    configuration shell.  Step 2 then uses that channel to set up the response
-    channel (remote CNIP back to the configuration module) by sending write
-    messages over the NoC; the last write requests an acknowledgement.
-
-    Returns the number of configuration operations issued.
-    """
-    local_name = local_kernel.name
-    remote_dest_words = remote_kernel.channel(remote_channel).dest_queue.capacity
-    local_dest_words = local_kernel.channel(local_channel).dest_queue.capacity
-
-    operations = 0
-    # Step 1: request channel, written locally ("wr path, rqid / wr space /
-    # wr be, enable" in Figure 9).
-    step1 = [
-        (channel_register_address(local_channel, REG_PATH),
-         encode_path(noc.route(local_name, remote_name))),
-        (channel_register_address(local_channel, REG_REMOTE_QID),
-         remote_channel),
-        (channel_register_address(local_channel, REG_SPACE),
-         remote_dest_words),
-        (channel_register_address(local_channel, REG_CTRL),
-         encode_ctrl(True, False)),
-    ]
-    for address, value in step1:
-        config_shell.write(local_name, address, value)
-        operations += 1
-
-    # Step 2: response channel, written at the remote NI via the NoC.
-    step2 = [
-        (channel_register_address(remote_channel, REG_PATH),
-         encode_path(noc.route(remote_name, local_name))),
-        (channel_register_address(remote_channel, REG_REMOTE_QID),
-         local_channel),
-        (channel_register_address(remote_channel, REG_SPACE),
-         local_dest_words),
-        (channel_register_address(remote_channel, REG_CTRL),
-         encode_ctrl(True, False)),
-    ]
-    for position, (address, value) in enumerate(step2):
-        acknowledged = position == len(step2) - 1
-        config_shell.write(remote_name, address, value,
-                           acknowledged=acknowledged)
-        operations += 1
-    return operations
+    api = scenarios.build(
+        "config_system", num_data_nis=num_data_nis, num_slots=num_slots,
+        queue_words=queue_words, data_channels_per_ni=data_channels_per_ni,
+        port_clock_mhz=port_clock_mhz, rows=rows, cols=cols)
+    return ConfigTestbench(
+        system=api.model, cfg_ni="cfg",
+        data_nis=[f"ni{i + 1}" for i in range(num_data_nis)],
+        config_shell=api.config_shell, manager=api.config_manager,
+        cnip_slaves=api.cnip_slaves,
+        bootstrap_operations=api.bootstrap_operations, api=api)
