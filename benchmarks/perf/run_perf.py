@@ -14,6 +14,10 @@ clocks, the default) and always-tick (seed semantics) — and writes
                        GT and BE rows and all three BE arbiters; a large
                        fully-busy workload that exercises the kernel/router
                        hot path rather than idle-skip.
+* ``saturated_dram`` — several masters saturating one DRAM-backed memory
+                       (bank hotspot, FR-FCFS scheduling) plus an
+                       ideal-memory control pair; exercises the repro.mem
+                       controller hot path.
 * ``bus_vs_noc``     — the E13 comparison workload: a shared-bus baseline
                        simulation plus a 1xN NoC carrying the same periodic
                        writes.
@@ -30,9 +34,13 @@ system a test exercises.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick] [--output PATH]
+                                                      [--only NAME] [--list]
 
 ``--quick`` shrinks cycle counts and repeats so the smoke test in the tier-1
-suite can exercise the harness in well under a second.
+suite can exercise the harness in well under a second.  ``--only NAME``
+(repeatable) reruns just the named scenarios while iterating — the results
+are merged into an existing output file, so the tracked ``BENCH_PERF.json``
+stays complete.  ``--list`` prints the scenario names and exits.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ import os
 import statistics
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 _SRC = os.path.join(_REPO_ROOT, "src")
@@ -123,6 +131,30 @@ def scenario_saturated_grid(cycles: int) -> Tuple[object, int]:
     return fingerprint, system.sim.executed_events
 
 
+def scenario_saturated_dram(cycles: int) -> Tuple[object, int]:
+    """Masters saturating one DRAM-backed memory plus an ideal control pair.
+
+    The DRAM sits behind the same slave shell as an ideal memory but pays
+    open-row, bank-conflict and refresh timing, scheduled FR-FCFS; the
+    fingerprint includes the controller's row-state counters so scheduling
+    changes show up as a result mismatch, not just a timing drift.
+    """
+    system = scenarios.build("saturated_dram")
+    system.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        "flits": system.noc.total_flits_forwarded(),
+        "kernels": {name: kernel.stats.summary()
+                    for name, kernel in system.kernels.items()},
+        "latencies": {handle.ip.name: handle.latency_summary()
+                      for handle in system.masters.values()},
+        "dram": system.memory("dram").dram.service_summary(),
+        "memories": {name: {"reads": handle.memory.reads,
+                            "writes": handle.memory.writes}
+                     for name, handle in system.memories.items()},
+    })
+    return fingerprint, system.sim.executed_events
+
+
 def scenario_bus_vs_noc(cycles: int, num_masters: int = 4
                         ) -> Tuple[object, int]:
     """The E13 workload: shared-bus baseline plus the equivalent 1xN NoC."""
@@ -154,6 +186,7 @@ SCENARIOS: Dict[str, Callable[[int], Tuple[object, int]]] = {
     "idle_mesh": scenario_idle_mesh,
     "saturated_mix": scenario_saturated_mix,
     "saturated_grid": scenario_saturated_grid,
+    "saturated_dram": scenario_saturated_dram,
     "bus_vs_noc": scenario_bus_vs_noc,
 }
 
@@ -162,6 +195,7 @@ CYCLES = {
     "idle_mesh": (20000, 1500),
     "saturated_mix": (4000, 400),
     "saturated_grid": (1500, 150),
+    "saturated_dram": (3000, 300),
     "bus_vs_noc": (2500, 400),
 }
 
@@ -186,14 +220,24 @@ def _time_runs(func: Callable[[int], Tuple[object, int]], cycles: int,
     }
 
 
-def run_suite(quick: bool, repeats: int) -> Dict[str, object]:
+def run_suite(quick: bool, repeats: int,
+              only: Optional[List[str]] = None) -> Dict[str, object]:
     report: Dict[str, object] = {
         "generated_by": "benchmarks/perf/run_perf.py",
         "quick": quick,
         "repeats": repeats,
         "scenarios": {},
     }
-    for name, func in SCENARIOS.items():
+    selected = dict(SCENARIOS)
+    if only:
+        unknown = [name for name in only if name not in SCENARIOS]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {unknown} "
+                f"(known: {', '.join(SCENARIOS)})")
+        selected = {name: SCENARIOS[name] for name in SCENARIOS
+                    if name in only}
+    for name, func in selected.items():
         cycles = CYCLES[name][1 if quick else 0]
         active = _time_runs(func, cycles, repeats)
         with always_tick():
@@ -230,9 +274,38 @@ def main(argv=None) -> int:
                         help="timing repeats per scenario (median is kept)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="run only the named scenario (repeatable); "
+                             "results are merged into an existing output "
+                             "file instead of replacing it")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list scenario names and cycle counts, then exit")
     args = parser.parse_args(argv)
+    if args.list_scenarios:
+        for name in SCENARIOS:
+            full, quick = CYCLES[name]
+            print(f"{name:>16}: {full} flit cycles ({quick} quick)")
+        return 0
     repeats = args.repeats if args.repeats else (1 if args.quick else 3)
-    report = run_suite(quick=args.quick, repeats=repeats)
+    report = run_suite(quick=args.quick, repeats=repeats, only=args.only)
+    if args.only and os.path.exists(args.output):
+        # Partial rerun: keep the other scenarios' tracked numbers — but
+        # never mix measurement regimes: a --quick rerun merged into a
+        # full-run file (or vice versa) would silently misdescribe every
+        # scenario that was not rerun.
+        with open(args.output) as handle:
+            merged = json.load(handle)
+        if (merged.get("quick") != report["quick"]
+                or merged.get("repeats") != report["repeats"]):
+            print(f"ERROR: {args.output} was generated with "
+                  f"quick={merged.get('quick')}, "
+                  f"repeats={merged.get('repeats')} but this run uses "
+                  f"quick={report['quick']}, repeats={repeats}; refusing to "
+                  "merge mixed measurement regimes. Rerun with matching "
+                  "flags or a different --output.", file=sys.stderr)
+            return 1
+        merged["scenarios"].update(report["scenarios"])
+        report = merged
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -57,7 +57,7 @@ echo "== BENCH_PERF.json staleness =="
 # Paths whose changes affect the tracked perf numbers: a commit (or working
 # tree) touching them without regenerating BENCH_PERF.json is stale.
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
-              src/repro/design src/repro/ip src/repro/testbench.py
+              src/repro/design src/repro/ip src/repro/mem src/repro/testbench.py
               benchmarks/perf/run_perf.py)
 if git rev-parse --git-dir >/dev/null 2>&1; then
   stale=""

@@ -4,6 +4,13 @@ These helpers compare measured simulation results (throughput over a window,
 per-packet latencies) against the bounds of :mod:`repro.analysis.guarantees`
 and produce a :class:`VerificationReport` that the guarantee experiments
 (E4/E5) and the property-style integration tests assert on.
+
+:func:`verify_end_to_end_latency` extends the per-channel network check to
+the full shared-memory round trip: request channel + memory service +
+response channel.  The memory service term is a plain worst-case cycle
+count so the ideal backend (``latency_cycles``) and the banked DRAM model
+(:meth:`repro.mem.timing.DRAMTiming.worst_case_service_cycles`) both plug
+in without this module depending on either.
 """
 
 from __future__ import annotations
@@ -97,6 +104,57 @@ def verify_latency(guarantees: GTGuarantees,
     report.add(GuaranteeCheck(name="jitter_flit_cycles",
                               bound=guarantees.jitter_bound + extra_allowance,
                               measured=worst - best, kind="upper"))
+    return report
+
+
+def ip_cycles_to_flit_cycles(ip_cycles: int,
+                             ip_cycles_per_flit_cycle: int = 3) -> int:
+    """Convert IP-port clock cycles to flit cycles, rounding up.
+
+    One flit cycle of the 500/3 MHz network carries three 500 MHz IP-port
+    cycles in the reference system; memory service times (which the slave
+    models express in IP cycles) convert with this before entering a
+    flit-cycle latency bound.
+    """
+    if ip_cycles < 0:
+        raise ValueError("cycle counts cannot be negative")
+    if ip_cycles_per_flit_cycle <= 0:
+        raise ValueError("the clock ratio must be positive")
+    return -(-ip_cycles // ip_cycles_per_flit_cycle)
+
+
+def verify_end_to_end_latency(request_guarantees: GTGuarantees,
+                              response_guarantees: GTGuarantees,
+                              latencies_flit_cycles: Sequence[int],
+                              memory_service_flit_cycles: int = 0,
+                              extra_allowance: int = 0
+                              ) -> VerificationReport:
+    """Check measured round-trip latencies against the end-to-end bound.
+
+    The end-to-end bound of a shared-memory transaction is the request
+    channel's worst-case network latency, plus the worst-case service
+    latency of the memory behind the slave shell, plus the response
+    channel's worst-case network latency.  ``memory_service_flit_cycles``
+    is that middle term: ``latency_cycles`` for an ideal memory, or
+    :meth:`repro.mem.timing.DRAMTiming.worst_case_service_cycles` (converted
+    via :func:`ip_cycles_to_flit_cycles`) for the banked DRAM backend.
+
+    ``extra_allowance`` absorbs modelling slack outside both bounds
+    (shell (de)sequentialization, clock-domain crossings).
+    """
+    if memory_service_flit_cycles < 0:
+        raise ValueError("memory service latency cannot be negative")
+    report = VerificationReport()
+    if not latencies_flit_cycles:
+        return report
+    bound = (request_guarantees.latency_bound
+             + memory_service_flit_cycles
+             + response_guarantees.latency_bound
+             + extra_allowance)
+    report.add(GuaranteeCheck(name="end_to_end_latency_flit_cycles",
+                              bound=bound,
+                              measured=max(latencies_flit_cycles),
+                              kind="upper"))
     return report
 
 

@@ -48,6 +48,7 @@ from repro.config.manager import (
 from repro.core.shells.base import ConnectionShell
 from repro.core.shells.config_shell import ConfigShell, ConfigurationSlave
 from repro.core.shells.master import DEFAULT_SEQ_LATENCY, MasterShell
+from repro.core.shells.multicast import MulticastShell
 from repro.core.shells.multiconnection import MultiConnectionShell
 from repro.core.shells.narrowcast import AddressRange, NarrowcastShell
 from repro.core.shells.point_to_point import PointToPointShell
@@ -56,8 +57,16 @@ from repro.design.generator import SystemModel, build_system
 from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
 from repro.ip.master import TrafficGeneratorMaster
 from repro.ip.memory import SharedMemory
-from repro.ip.slave import MemorySlave
+from repro.ip.slave import MemorySlave, SlaveIP
 from repro.ip.traffic import TrafficPattern
+from repro.mem.controller import SchedulerError, make_scheduler
+from repro.mem.slave import DRAMBackedSlave
+from repro.mem.timing import (
+    DRAMTiming,
+    TimingError,
+    make_geometry,
+    resolve_timing,
+)
 from repro.network.topology import Topology
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator
@@ -115,6 +124,11 @@ class _MemoryDecl(_IPDecl):
     transactions_per_cycle: int = 1
     scheduling: str = "queue_fill"
     protocol: str = "dtl"
+    backend: str = "ideal"
+    timing: Union[str, DRAMTiming] = "default"
+    dram_scheduler: str = "fcfs"
+    banks: Optional[int] = None
+    row_words: Optional[int] = None
     ip_name: str = ""
     shell_name: str = ""
     conn_name: str = ""
@@ -144,6 +158,7 @@ class _ConnDecl:
     credit_threshold: int
     narrowcast_ranges: Optional[List[Tuple[int, int]]]
     translate_addresses: bool
+    multicast: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -185,12 +200,12 @@ class MasterHandle:
 
 @dataclass
 class MemoryHandle:
-    """A built memory: the slave IP and its shell stack."""
+    """A built memory: the slave IP (ideal or DRAM-backed) and its shells."""
 
     name: str
     ni: str
     port: str
-    ip: MemorySlave
+    ip: SlaveIP
     shell: SlaveShell
     conn_shell: ConnectionShell
     clock: Clock
@@ -202,6 +217,20 @@ class MemoryHandle:
     @property
     def stats(self):
         return self.ip.stats
+
+    @property
+    def backend(self) -> str:
+        """``"dram"`` for a :class:`DRAMBackedSlave`, else ``"ideal"``."""
+        return "dram" if isinstance(self.ip, DRAMBackedSlave) else "ideal"
+
+    @property
+    def dram(self) -> DRAMBackedSlave:
+        """The DRAM-backed slave IP (raises for ideal memories)."""
+        if not isinstance(self.ip, DRAMBackedSlave):
+            raise BuilderError(
+                f"memory {self.name!r} uses the ideal backend; declare it "
+                "with add_memory(..., backend='dram') for DRAM statistics")
+        return self.ip
 
 
 @dataclass
@@ -512,6 +541,11 @@ class SystemBuilder:
                    clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
                    scheduling: str = "queue_fill",
                    protocol: str = "dtl",
+                   backend: str = "ideal",
+                   timing: Union[str, DRAMTiming] = "default",
+                   scheduler: str = "fcfs",
+                   banks: Optional[int] = None,
+                   row_words: Optional[int] = None,
                    num_slots: Optional[int] = None,
                    be_arbiter: str = "round_robin",
                    max_packet_words: int = 23,
@@ -522,7 +556,21 @@ class SystemBuilder:
 
         A memory referenced by several connections is automatically put
         behind a multi-connection shell (``scheduling`` selects its
-        arbitration policy).
+        arbitration policy — distinct from the DRAM request ``scheduler``
+        below).
+
+        ``backend`` selects the execution model behind the shell:
+
+        * ``"ideal"`` (default) — :class:`~repro.ip.slave.MemorySlave` with
+          the fixed ``latency`` in IP cycles;
+        * ``"dram"`` — a banked :class:`~repro.mem.slave.DRAMBackedSlave`
+          with open-row state and tRCD/tRP/tCL/tRAS/refresh timing.
+          ``timing`` is a preset name (``default`` / ``fast`` / ``slow``)
+          or a :class:`~repro.mem.timing.DRAMTiming`; ``scheduler`` is
+          ``"fcfs"`` (in-order) or ``"frfcfs"`` (open-page first-ready);
+          ``banks`` / ``row_words`` override the geometry.  The ideal-only
+          knobs (``latency``, ``transactions_per_cycle``) are rejected —
+          service time comes from the device model.
         """
         self._decls.append(_MemoryDecl(
             name=name, router=router, ni=ni or name, port=port,
@@ -531,6 +579,8 @@ class SystemBuilder:
             words=words, latency=latency,
             transactions_per_cycle=transactions_per_cycle,
             scheduling=scheduling, protocol=protocol,
+            backend=backend, timing=timing, dram_scheduler=scheduler,
+            banks=banks, row_words=row_words,
             ip_name=ip_name or name,
             shell_name=shell_name or f"{name}_shell",
             conn_name=conn_name or f"{name}_conn"))
@@ -587,13 +637,17 @@ class SystemBuilder:
                 response_slots: Optional[int] = None,
                 data_threshold: int = 1, credit_threshold: int = 1,
                 narrowcast_ranges: Optional[Sequence] = None,
+                multicast: bool = False,
                 translate_addresses: bool = True) -> "SystemBuilder":
         """Declare a connection from ``master`` to one or more slaves.
 
         With a single slave this is a point-to-point connection.  With
         several slaves (or ``narrowcast_ranges``) the master's shell becomes
         a narrowcast shell: each ``(base, size)`` address range (bytes) maps
-        onto the corresponding slave, in order.
+        onto the corresponding slave, in order.  With ``multicast=True``
+        (and at least two slaves) it becomes a multicast shell instead:
+        every slave executes every transaction, and acknowledged
+        transactions complete once all slaves have responded (Section 2).
 
         ``gt=True`` reserves TDMA slots on both the request and response
         channels — ``slots`` for both directions, or ``request_slots`` /
@@ -620,7 +674,7 @@ class SystemBuilder:
             master=master, slaves=slaves, gt=gt,
             request_slots=req, response_slots=resp,
             data_threshold=data_threshold, credit_threshold=credit_threshold,
-            narrowcast_ranges=ranges,
+            narrowcast_ranges=ranges, multicast=multicast,
             translate_addresses=translate_addresses))
         return self
 
@@ -660,6 +714,10 @@ class SystemBuilder:
                     f"{decl.name!r}: router {decl.router!r} is not part of "
                     f"the {self._describe_topology()} (routers: "
                     f"{nodes[:8]}{'...' if len(nodes) > 8 else ''})")
+        # Memory backend declarations.
+        for decl in self._decls:
+            if isinstance(decl, _MemoryDecl):
+                self._validate_memory_backend(decl)
         # Connection endpoints.
         masters = {d.name: d for d in self._decls
                    if isinstance(d, _MasterDecl)}
@@ -703,12 +761,25 @@ class SystemBuilder:
                     f"connection {conn.name!r}: gt=True needs at least one "
                     "slot per direction (slots / request_slots / "
                     "response_slots)")
-            if len(conn.slaves) > 1 or conn.narrowcast_ranges is not None:
+            if conn.multicast:
+                if conn.narrowcast_ranges is not None:
+                    raise BuilderError(
+                        f"connection {conn.name!r}: multicast=True duplicates "
+                        "every transaction onto all slaves — it cannot be "
+                        "combined with narrowcast_ranges (pick one)")
+                if len(conn.slaves) < 2:
+                    raise BuilderError(
+                        f"connection {conn.name!r}: multicast=True needs at "
+                        "least two slave endpoints (one master, multiple "
+                        "slaves all executing each transaction); use a plain "
+                        "connect() for a single slave")
+            elif len(conn.slaves) > 1 or conn.narrowcast_ranges is not None:
                 if conn.narrowcast_ranges is None:
                     raise BuilderError(
                         f"connection {conn.name!r}: several slaves need "
                         "narrowcast_ranges=[(base, size), ...] mapping the "
-                        "shared address space onto them")
+                        "shared address space onto them (or multicast=True "
+                        "to have every slave execute every transaction)")
                 if len(conn.narrowcast_ranges) != len(conn.slaves):
                     raise BuilderError(
                         f"connection {conn.name!r}: {len(conn.narrowcast_ranges)} "
@@ -722,6 +793,40 @@ class SystemBuilder:
             raise BuilderError(
                 "configuration('centralized') needs add_config_module(); "
                 "declare one (and CNIP nodes) or use functional mode")
+
+    def _validate_memory_backend(self, decl: _MemoryDecl) -> None:
+        if decl.backend not in ("ideal", "dram"):
+            raise BuilderError(
+                f"memory {decl.name!r}: unknown backend {decl.backend!r} "
+                "(expected 'ideal' or 'dram')")
+        if decl.backend == "ideal":
+            dram_only = [label for label, value, default in (
+                ("timing", decl.timing, "default"),
+                ("scheduler", decl.dram_scheduler, "fcfs"),
+                ("banks", decl.banks, None),
+                ("row_words", decl.row_words, None)) if value != default]
+            if dram_only:
+                raise BuilderError(
+                    f"memory {decl.name!r}: {', '.join(dram_only)} only "
+                    "apply to backend='dram' (the ideal backend models a "
+                    "fixed latency; pass latency=... instead)")
+            return
+        ideal_only = [label for label, value, default in (
+            ("latency", decl.latency, 1),
+            ("transactions_per_cycle", decl.transactions_per_cycle, 1))
+            if value != default]
+        if ideal_only:
+            raise BuilderError(
+                f"memory {decl.name!r}: {', '.join(ideal_only)} only apply "
+                "to backend='ideal' — the DRAM backend derives service time "
+                "from the device state (pass timing=... / scheduler=... "
+                "instead)")
+        try:
+            resolve_timing(decl.timing)
+            make_scheduler(decl.dram_scheduler)
+            make_geometry(banks=decl.banks, row_words=decl.row_words)
+        except (TimingError, SchedulerError) as exc:
+            raise BuilderError(f"memory {decl.name!r}: {exc}") from None
 
     def _validate_gt_demand(self, masters: Dict[str, _MasterDecl],
                             memories: Dict[str, _MemoryDecl]) -> None:
@@ -873,10 +978,14 @@ class SystemBuilder:
                 num_channels = (len(conn.slaves)
                                 if conn is not None and len(conn.slaves) > 1
                                 else 1)
-                shell = ("narrowcast" if conn is not None
-                         and (len(conn.slaves) > 1
-                              or conn.narrowcast_ranges is not None)
-                         else "p2p")
+                if conn is not None and conn.multicast:
+                    shell = "multicast"
+                elif conn is not None and (len(conn.slaves) > 1
+                                           or conn.narrowcast_ranges
+                                           is not None):
+                    shell = "narrowcast"
+                else:
+                    shell = "p2p"
                 ports = [PortSpec(name=decl.port, kind="master", shell=shell,
                                   protocol=decl.protocol,
                                   clock_mhz=decl.clock_mhz,
@@ -928,12 +1037,15 @@ class SystemBuilder:
                        memories: Dict[str, _MemoryDecl]) -> MasterHandle:
         clock = model.port_clock(decl.ni, decl.port)
         port = model.kernel(decl.ni).port(decl.port)
-        if conn is not None and (len(conn.slaves) > 1
-                                 or conn.narrowcast_ranges is not None):
+        if conn is not None and conn.multicast:
+            conn_shell: ConnectionShell = MulticastShell(
+                decl.conn_name, port, tracer=self._tracer)
+        elif conn is not None and (len(conn.slaves) > 1
+                                   or conn.narrowcast_ranges is not None):
             ranges = [AddressRange(base=base, size=size, conn=index)
                       for index, (base, size)
                       in enumerate(conn.narrowcast_ranges)]
-            conn_shell: ConnectionShell = NarrowcastShell(
+            conn_shell = NarrowcastShell(
                 decl.conn_name, port, address_ranges=ranges,
                 translate_addresses=conn.translate_addresses,
                 tracer=self._tracer)
@@ -966,9 +1078,15 @@ class SystemBuilder:
         else:
             conn_shell = PointToPointShell(decl.conn_name, port, role="slave",
                                            tracer=self._tracer)
-        ip = MemorySlave(decl.ip_name, memory=SharedMemory(decl.words),
-                         latency_cycles=decl.latency,
-                         transactions_per_cycle=decl.transactions_per_cycle)
+        if decl.backend == "dram":
+            ip: SlaveIP = DRAMBackedSlave(
+                decl.ip_name, memory=SharedMemory(decl.words),
+                timing=decl.timing, banks=decl.banks,
+                row_words=decl.row_words, scheduler=decl.dram_scheduler)
+        else:
+            ip = MemorySlave(decl.ip_name, memory=SharedMemory(decl.words),
+                             latency_cycles=decl.latency,
+                             transactions_per_cycle=decl.transactions_per_cycle)
         shell = SlaveShell(decl.shell_name, conn_shell, ip,
                            protocol=decl.protocol, tracer=self._tracer)
         for component in (conn_shell, shell, ip):
@@ -1010,8 +1128,12 @@ class SystemBuilder:
                          memory_conns: Dict[str, List[Tuple[_ConnDecl, int]]]
                          ) -> ConnectionSpec:
         master = masters[conn.master]
-        kind = ("narrowcast" if len(conn.slaves) > 1
-                or conn.narrowcast_ranges is not None else "p2p")
+        if conn.multicast:
+            kind = "multicast"
+        elif len(conn.slaves) > 1 or conn.narrowcast_ranges is not None:
+            kind = "narrowcast"
+        else:
+            kind = "p2p"
         pairs: List[ChannelPairSpec] = []
         for master_channel, slave_name in enumerate(conn.slaves):
             memory = memories[slave_name]

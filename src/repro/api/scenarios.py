@@ -44,6 +44,7 @@ from repro.ip.traffic import (
     ConstantBitRateTraffic,
     RandomTraffic,
     TrafficPattern,
+    VideoLineTraffic,
 )
 
 
@@ -363,6 +364,140 @@ def _random_system(seed: int = 1, max_pairs: int = 4,
     return builder.build()
 
 
+@scenario("multicast",
+          description="One master whose transactions are duplicated onto "
+                      "several memories, all executing every write "
+                      "(Section 2 multicast connection).",
+          tags=("functional",))
+def _multicast(num_slaves: int = 2, rows: int = 1, cols: int = 2,
+               period_cycles: int = 8, burst_words: int = 4,
+               max_transactions: Optional[int] = 12,
+               memory_words: int = 4096) -> System:
+    if num_slaves < 2:
+        raise ValueError("a multicast needs at least two slaves")
+    mesh_nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    builder = (SystemBuilder("multicast")
+               .mesh(rows, cols)
+               .add_master("master", router=(0, 0),
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               posted=True),
+                           max_transactions=max_transactions))
+    slave_names = []
+    for index in range(num_slaves):
+        name = f"copy{index}"
+        slave_names.append(name)
+        builder.add_memory(name,
+                           router=mesh_nodes[(index + 1) % len(mesh_nodes)],
+                           words=memory_words)
+    builder.connect("master", slave_names, name="multicast", multicast=True)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# DRAM-backed workloads (repro.mem: banked device model behind the shell)
+# ---------------------------------------------------------------------------
+@scenario("dram_hotspot",
+          description="Several masters hammering one DRAM-backed shared "
+                      "memory: every master lands in a different row of the "
+                      "same bank, so service latency is state-dependent.",
+          tags=("functional", "dram"))
+def _dram_hotspot(num_masters: int = 4, rows: int = 2, cols: int = 2,
+                  period_cycles: int = 6, burst_words: int = 4,
+                  max_transactions: Optional[int] = 20,
+                  scheduler: str = "frfcfs",
+                  timing: str = "default") -> System:
+    if num_masters < 2:
+        raise ValueError("a hotspot needs at least two masters")
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    builder = (SystemBuilder("dram_hotspot")
+               .mesh(rows, cols)
+               .add_memory("dram", router=nodes[-1], backend="dram",
+                           timing=timing, scheduler=scheduler))
+    for index in range(num_masters):
+        # index << 16 is a multiple of row_words * num_banks (256 * 8): all
+        # masters target bank 0 but distinct rows — the bank hotspot.
+        builder.add_master(f"m{index}", router=nodes[index % len(nodes)],
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               base_address=index << 16),
+                           max_transactions=max_transactions)
+        builder.connect(f"m{index}", "dram")
+    return builder.build()
+
+
+@scenario("video_pipeline_dram",
+          description="Video line producers streaming into a DRAM-backed "
+                      "frame buffer over GT connections (the paper's video "
+                      "use case on real memory timing).",
+          tags=("functional", "dram"))
+def _video_pipeline_dram(num_producers: int = 2, pixels_per_line: int = 32,
+                         lines: int = 4, gt_slots: int = 2,
+                         scheduler: str = "frfcfs",
+                         timing: str = "default") -> System:
+    if num_producers < 1:
+        raise ValueError("the pipeline needs at least one producer")
+    builder = (SystemBuilder("video_pipeline_dram")
+               .mesh(1, 2)
+               .add_memory("frame", router=(0, 1), backend="dram",
+                           timing=timing, scheduler=scheduler))
+    for index in range(num_producers):
+        traffic = VideoLineTraffic(pixels_per_line=pixels_per_line,
+                                   burst_words=8, cycles_per_burst=16,
+                                   blanking_cycles=32,
+                                   base_address=index << 16)
+        bursts_per_line = -(-pixels_per_line // 8)
+        builder.add_master(f"cam{index}", router=(0, 0), pattern=traffic,
+                           max_transactions=lines * bursts_per_line)
+        builder.connect(f"cam{index}", "frame", gt=True, slots=gt_slots)
+    return builder.build()
+
+
+@scenario("dram_scheduler_mix",
+          description="A bursty read/write mix whose streams interleave "
+                      "rows of one DRAM bank — separates in-order FCFS "
+                      "from open-page FR-FCFS scheduling.",
+          tags=("functional", "dram"))
+def _dram_scheduler_mix(scheduler: str = "frfcfs", timing: str = "slow",
+                        num_writers: int = 2, period_cycles: int = 4,
+                        burst_words: int = 4,
+                        max_transactions: Optional[int] = 24,
+                        banks: int = 2, row_words: int = 128) -> System:
+    """Writers stream into distinct rows of bank 0 while a reader walks a
+    third row of the same bank; multi-connection arbitration interleaves
+    their requests, so FCFS pays a row conflict on almost every access while
+    FR-FCFS batches whatever row is open."""
+    if num_writers < 1:
+        raise ValueError("the mix needs at least one writer")
+    builder = (SystemBuilder("dram_scheduler_mix")
+               .mesh(1, 2)
+               .add_memory("dram", router=(0, 1), backend="dram",
+                           timing=timing, scheduler=scheduler,
+                           banks=banks, row_words=row_words))
+    row_stride = row_words * banks  # next row of the same bank
+    for index in range(num_writers):
+        builder.add_master(f"w{index}", router=(0, 0),
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               posted=True,
+                               base_address=index * row_stride,
+                               address_wrap=row_words // 2),
+                           max_transactions=max_transactions)
+        builder.connect(f"w{index}", "dram")
+    builder.add_master("reader", router=(0, 0),
+                       pattern=ConstantBitRateTraffic(
+                           period_cycles=2 * period_cycles,
+                           burst_words=burst_words, write=False,
+                           base_address=num_writers * row_stride,
+                           address_wrap=row_words // 2),
+                       max_transactions=max_transactions)
+    builder.connect("reader", "dram")
+    return builder.build()
+
+
 # ---------------------------------------------------------------------------
 # Perf-suite shapes (benchmarks/perf/run_perf.py builds these by name)
 # ---------------------------------------------------------------------------
@@ -388,6 +523,38 @@ register("saturated_mix", _gt_be_mix,
          tags=("perf",),
          num_gt=2, num_be=2, gt_slots=2,
          gt_pattern_period=8, be_pattern_period=4, burst_words=4)
+
+
+@scenario("saturated_dram",
+          description="Masters saturating one DRAM-backed memory (bank "
+                      "hotspot, FR-FCFS) plus an ideal-memory control pair "
+                      "(perf-suite shape of the repro.mem hot path).",
+          tags=("perf", "dram"))
+def _saturated_dram(num_masters: int = 3, period_cycles: int = 4,
+                    burst_words: int = 4, scheduler: str = "frfcfs",
+                    timing: str = "default") -> System:
+    builder = (SystemBuilder("saturated_dram")
+               .mesh(2, 2)
+               .add_memory("dram", router=(1, 1), backend="dram",
+                           timing=timing, scheduler=scheduler))
+    nodes = [(0, 0), (0, 1), (1, 0)]
+    for index in range(num_masters):
+        builder.add_master(f"m{index}", router=nodes[index % len(nodes)],
+                           ip_name=f"m{index}_ip",
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               posted=True, base_address=index << 16))
+        builder.connect(f"m{index}", "dram")
+    # A control pair on an ideal memory keeps the classic slave hot path in
+    # the same measurement.
+    builder.add_master("ctl", router=(0, 0), ip_name="ctl_ip",
+                       pattern=ConstantBitRateTraffic(
+                           period_cycles=period_cycles,
+                           burst_words=burst_words, write=True, posted=True))
+    builder.add_memory("ideal", router=(0, 1))
+    builder.connect("ctl", "ideal")
+    return builder.build()
 
 
 @scenario("saturated_grid",

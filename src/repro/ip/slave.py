@@ -38,6 +38,30 @@ class SlaveIP(ClockedComponent):
         raise NotImplementedError
 
 
+def execute_on_memory(memory: SharedMemory, stats: StatsRegistry,
+                      transaction: Transaction) -> TransactionResponse:
+    """Execute one transaction on a shared-memory store, counting into
+    ``stats`` (``reads`` / ``writes`` / ``errors``).
+
+    The single definition of memory-transaction semantics: both the ideal
+    :class:`MemorySlave` and the DRAM backend
+    (:class:`repro.mem.slave.DRAMBackedSlave`) execute through it, so error
+    handling can never diverge between the backends behind the same shell.
+    """
+    try:
+        if transaction.is_read:
+            data = memory.read_burst(transaction.address,
+                                     transaction.read_length)
+            stats.counter("reads").increment()
+            return TransactionResponse(read_data=data)
+        memory.write_burst(transaction.address, transaction.write_data)
+        stats.counter("writes").increment()
+        return TransactionResponse()
+    except MemoryRangeError:
+        stats.counter("errors").increment()
+        return TransactionResponse(error=ResponseError.DECODE_ERROR)
+
+
 class MemorySlave(SlaveIP):
     """A memory-backed slave with a fixed execution latency in IP cycles."""
 
@@ -90,18 +114,7 @@ class MemorySlave(SlaveIP):
 
     # --------------------------------------------------------------- execute
     def _execute(self, transaction: Transaction) -> TransactionResponse:
-        try:
-            if transaction.is_read:
-                data = self.memory.read_burst(transaction.address,
-                                              transaction.read_length)
-                self.stats.counter("reads").increment()
-                return TransactionResponse(read_data=data)
-            self.memory.write_burst(transaction.address, transaction.write_data)
-            self.stats.counter("writes").increment()
-            return TransactionResponse()
-        except MemoryRangeError:
-            self.stats.counter("errors").increment()
-            return TransactionResponse(error=ResponseError.DECODE_ERROR)
+        return execute_on_memory(self.memory, self.stats, transaction)
 
 
 class RegisterSlave(SlaveIP):

@@ -1,0 +1,49 @@
+"""Banked DRAM memory backend (timing model, controller, backed slave).
+
+The paper's shared-memory abstraction hides the slave behind the NI; the seed
+repo modelled every slave as an idealized :class:`~repro.ip.slave.MemorySlave`
+with one fixed ``latency_cycles``.  This package adds the layer the related
+DRAM stacks (gram / LiteDRAM, MiSoC) model explicitly: a banked DRAM device
+with open-row state and tRCD/tRP/tCL/tRAS/refresh timing
+(:mod:`repro.mem.timing`), a memory controller with per-bank request queues
+and pluggable schedulers (:mod:`repro.mem.controller`), and a
+:class:`~repro.mem.slave.DRAMBackedSlave` that is a drop-in sibling of
+``MemorySlave`` behind the same slave shell — selected through
+``SystemBuilder.add_memory(..., backend="dram")``.
+"""
+
+from repro.mem.controller import (
+    DRAMBank,
+    DRAMController,
+    FCFSScheduler,
+    FRFCFSScheduler,
+    SCHEDULERS,
+    SchedulerError,
+    make_scheduler,
+)
+from repro.mem.slave import DRAMBackedSlave
+from repro.mem.timing import (
+    DRAMGeometry,
+    DRAMTiming,
+    TIMING_PRESETS,
+    TimingError,
+    make_geometry,
+    resolve_timing,
+)
+
+__all__ = [
+    "DRAMBackedSlave",
+    "DRAMBank",
+    "DRAMController",
+    "DRAMGeometry",
+    "DRAMTiming",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "SCHEDULERS",
+    "SchedulerError",
+    "TIMING_PRESETS",
+    "TimingError",
+    "make_geometry",
+    "make_scheduler",
+    "resolve_timing",
+]

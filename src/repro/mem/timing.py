@@ -1,0 +1,166 @@
+"""DRAM device timing and geometry parameters.
+
+The numbers follow the gram / LiteDRAM parameterization: a device is a set of
+banks, each holding an array of rows; a row must be *activated* (opened) into
+the bank's row buffer before columns can be accessed, and *precharged*
+(closed) before a different row can open.  All parameters are expressed in
+memory-controller clock cycles (the slave port clock — 500 MHz in the
+reference system), so one cycle here is one IP-port cycle:
+
+* ``tRCD`` — ACTIVATE to first column access (row-to-column delay);
+* ``tRP``  — PRECHARGE to next ACTIVATE of the same bank;
+* ``tCL``  — column access (CAS) to first data word;
+* ``tRAS`` — minimum ACTIVATE to PRECHARGE time of a row;
+* ``tREFI`` — average interval between periodic refreshes;
+* ``tRFC`` — duration of one refresh (all banks blocked, all rows closed).
+
+Geometry maps a flat word address onto (bank, row): columns occupy the low
+bits, banks the middle bits, rows the high bits — consecutive rows therefore
+interleave across banks, as real controllers arrange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+
+class TimingError(ValueError):
+    """Raised for inconsistent timing/geometry parameters."""
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DRAM timing parameters in memory-controller clock cycles."""
+
+    tRCD: int = 4
+    tRP: int = 4
+    tCL: int = 4
+    tRAS: int = 10
+    tREFI: int = 2000
+    tRFC: int = 32
+    #: Data-bus bandwidth: 32-bit words transferred per controller cycle.
+    words_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tRCD", "tRP", "tCL", "tRAS", "tREFI", "tRFC",
+                     "words_per_cycle"):
+            if getattr(self, name) <= 0:
+                raise TimingError(f"{name} must be positive")
+        if self.tRFC >= self.tREFI:
+            raise TimingError("tRFC must be shorter than the refresh "
+                              "interval tREFI")
+        if self.tRAS < self.tRCD:
+            raise TimingError("tRAS cannot be shorter than tRCD")
+
+    # ----------------------------------------------------------- derived
+    def transfer_cycles(self, words: int) -> int:
+        """Data-bus cycles for a burst of ``words`` words (at least one)."""
+        if words <= 0:
+            return 1
+        return -(-words // self.words_per_cycle)
+
+    def row_hit_cycles(self, words: int) -> int:
+        """Best-case access: the row is already open (CAS + transfer)."""
+        return self.tCL + self.transfer_cycles(words)
+
+    def row_closed_cycles(self, words: int) -> int:
+        """Access to a precharged bank (ACTIVATE + CAS + transfer)."""
+        return self.tRCD + self.row_hit_cycles(words)
+
+    def row_conflict_cycles(self, words: int) -> int:
+        """Worst-case access: close the open row first (PRECHARGE +
+        ACTIVATE + CAS + transfer)."""
+        return self.tRP + self.row_closed_cycles(words)
+
+    def worst_case_access_cycles(self, words: int) -> int:
+        """Worst-case single-access service time, ignoring queueing: a row
+        conflict whose precharge additionally waits out tRAS."""
+        # The open row may have been activated just before the conflict
+        # arrived, forcing the precharge to wait the tRAS remainder.
+        ras_wait = max(self.tRAS - self.tRCD, 0)
+        return ras_wait + self.row_conflict_cycles(words)
+
+    def worst_case_service_cycles(self, words: int,
+                                  queue_depth: int = 1) -> int:
+        """Worst-case request service latency including queueing and refresh.
+
+        Upper bound used by the end-to-end guarantee verification
+        (:func:`repro.analysis.verification.verify_end_to_end_latency`): the
+        request arrives behind ``queue_depth - 1`` older requests, every one
+        of them a row conflict, and every refresh window the resulting
+        service span can straddle blocks the device for ``tRFC`` — each
+        ``tREFI`` interval offers only ``tREFI - tRFC`` useful cycles, so
+        long queues pay proportionally more refresh stalls.
+        """
+        if queue_depth <= 0:
+            raise TimingError("queue depth must be positive")
+        busy = queue_depth * self.worst_case_access_cycles(words)
+        refreshes = 1 + -(-busy // (self.tREFI - self.tRFC))
+        return busy + refreshes * self.tRFC
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Bank/row geometry: maps word addresses onto (bank, row)."""
+
+    num_banks: int = 8
+    row_words: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise TimingError("need at least one bank")
+        if self.row_words <= 0:
+            raise TimingError("rows must hold at least one word")
+
+    def bank_of(self, address: int) -> int:
+        return (address // self.row_words) % self.num_banks
+
+    def row_of(self, address: int) -> int:
+        return address // (self.row_words * self.num_banks)
+
+    def locate(self, address: int) -> Tuple[int, int]:
+        return self.bank_of(address), self.row_of(address)
+
+
+def make_geometry(banks: Optional[int] = None,
+                  row_words: Optional[int] = None) -> DRAMGeometry:
+    """Build a geometry from optional overrides of the dataclass defaults.
+
+    The single place that turns ``banks=None`` / ``row_words=None`` into the
+    :class:`DRAMGeometry` field defaults — the builder's validation and the
+    slave's construction both go through it, so they can never disagree.
+    """
+    overrides = {}
+    if banks is not None:
+        overrides["num_banks"] = banks
+    if row_words is not None:
+        overrides["row_words"] = row_words
+    return DRAMGeometry(**overrides)
+
+
+#: Named parameter sets.  ``default`` is a moderate DDR-style device at the
+#: 500 MHz controller clock; ``fast`` is a small-number set for unit tests
+#: and short simulations (frequent refresh, cheap rows); ``slow`` stresses
+#: row conflicts and long refreshes.
+TIMING_PRESETS: Dict[str, DRAMTiming] = {
+    "default": DRAMTiming(tRCD=4, tRP=4, tCL=4, tRAS=10,
+                          tREFI=2000, tRFC=32),
+    "fast": DRAMTiming(tRCD=2, tRP=2, tCL=2, tRAS=5,
+                       tREFI=512, tRFC=8),
+    "slow": DRAMTiming(tRCD=8, tRP=8, tCL=8, tRAS=20,
+                       tREFI=1560, tRFC=64),
+}
+
+
+def resolve_timing(timing: Union[str, DRAMTiming]) -> DRAMTiming:
+    """Resolve a preset name or pass a :class:`DRAMTiming` through."""
+    if isinstance(timing, DRAMTiming):
+        return timing
+    try:
+        return TIMING_PRESETS[timing]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(TIMING_PRESETS))
+        raise TimingError(
+            f"unknown DRAM timing preset {timing!r} (known presets: {known}; "
+            "or pass a DRAMTiming instance)") from None

@@ -14,7 +14,9 @@ from repro.analysis.guarantees import (
 from repro.analysis.verification import (
     GuaranteeCheck,
     VerificationReport,
+    ip_cycles_to_flit_cycles,
     measured_throughput_gbit_s,
+    verify_end_to_end_latency,
     verify_latency,
     verify_throughput,
 )
@@ -149,3 +151,109 @@ class TestVerification:
         assert measured_throughput_gbit_s(100, 100) == pytest.approx(32 / 6.0)
         with pytest.raises(ValueError):
             measured_throughput_gbit_s(1, 0)
+
+
+class TestCheckBranches:
+    """Direct coverage of the bound-kind / tolerance branches that the
+    E4/E5 experiments only exercise indirectly."""
+
+    def test_upper_bound_tolerance_forgives_small_overshoot(self):
+        strict = GuaranteeCheck("x", bound=10, measured=11, kind="upper")
+        lenient = GuaranteeCheck("x", bound=10, measured=11, kind="upper",
+                                 tolerance=1.5)
+        assert not strict.satisfied and lenient.satisfied
+
+    def test_lower_bound_tolerance_forgives_small_shortfall(self):
+        strict = GuaranteeCheck("x", bound=10, measured=9, kind="lower")
+        lenient = GuaranteeCheck("x", bound=10, measured=9, kind="lower",
+                                 tolerance=1.5)
+        assert not strict.satisfied and lenient.satisfied
+
+    def test_exact_bound_satisfies_both_kinds(self):
+        assert GuaranteeCheck("x", bound=3, measured=3, kind="upper").satisfied
+        assert GuaranteeCheck("x", bound=3, measured=3, kind="lower").satisfied
+
+    def test_as_row_reports_ok_flag_and_kind(self):
+        row = GuaranteeCheck("lat", bound=5, measured=9, kind="upper").as_row()
+        assert row == {"check": "lat", "bound": 5, "measured": 9,
+                       "kind": "upper", "ok": False}
+
+    def test_report_failures_and_all_satisfied(self):
+        report = VerificationReport()
+        report.add(GuaranteeCheck("good", bound=5, measured=4, kind="upper"))
+        report.add(GuaranteeCheck("bad", bound=5, measured=6, kind="upper"))
+        assert not report.all_satisfied
+        assert [check.name for check in report.failures()] == ["bad"]
+
+    def test_verify_throughput_rejects_empty_window(self):
+        guarantees = GTGuarantees(slot_pattern=[0], num_slots=8, hops=1)
+        with pytest.raises(ValueError):
+            verify_throughput(guarantees, words_delivered=1,
+                              window_flit_cycles=0)
+
+    def test_guarantee_error_propagates_through_bundle(self):
+        with pytest.raises(GuaranteeError):
+            GTGuarantees(slot_pattern=[], num_slots=8, hops=1)
+        with pytest.raises(GuaranteeError):
+            GTGuarantees(slot_pattern=[8], num_slots=8, hops=1)
+
+
+class TestEndToEndLatency:
+    def make_guarantees(self):
+        request = GTGuarantees(slot_pattern=[0, 4], num_slots=8, hops=2)
+        response = GTGuarantees(slot_pattern=[2, 6], num_slots=8, hops=2)
+        return request, response
+
+    def test_bound_folds_memory_service_into_both_directions(self):
+        request, response = self.make_guarantees()
+        combined = request.latency_bound + 7 + response.latency_bound
+        report = verify_end_to_end_latency(request, response, [combined],
+                                           memory_service_flit_cycles=7)
+        assert report.all_satisfied
+        assert report.checks[0].bound == combined
+        bad = verify_end_to_end_latency(request, response, [combined + 1],
+                                        memory_service_flit_cycles=7)
+        assert not bad.all_satisfied
+
+    def test_ideal_memory_defaults_to_zero_service(self):
+        request, response = self.make_guarantees()
+        report = verify_end_to_end_latency(
+            request, response,
+            [request.latency_bound + response.latency_bound])
+        assert report.all_satisfied
+
+    def test_extra_allowance_and_empty_measurements(self):
+        request, response = self.make_guarantees()
+        assert verify_end_to_end_latency(request, response, []).checks == []
+        bound = request.latency_bound + response.latency_bound
+        report = verify_end_to_end_latency(request, response, [bound + 2],
+                                           extra_allowance=2)
+        assert report.all_satisfied
+
+    def test_negative_service_latency_rejected(self):
+        request, response = self.make_guarantees()
+        with pytest.raises(ValueError):
+            verify_end_to_end_latency(request, response, [1],
+                                      memory_service_flit_cycles=-1)
+
+    def test_ip_cycle_conversion_rounds_up(self):
+        assert ip_cycles_to_flit_cycles(0) == 0
+        assert ip_cycles_to_flit_cycles(1) == 1
+        assert ip_cycles_to_flit_cycles(3) == 1
+        assert ip_cycles_to_flit_cycles(4) == 2
+        with pytest.raises(ValueError):
+            ip_cycles_to_flit_cycles(-1)
+        with pytest.raises(ValueError):
+            ip_cycles_to_flit_cycles(3, ip_cycles_per_flit_cycle=0)
+
+    def test_dram_worst_case_plugs_into_the_bound(self):
+        from repro.mem.timing import TIMING_PRESETS
+        request, response = self.make_guarantees()
+        timing = TIMING_PRESETS["fast"]
+        service = ip_cycles_to_flit_cycles(
+            timing.worst_case_service_cycles(words=4, queue_depth=4))
+        report = verify_end_to_end_latency(
+            request, response,
+            [request.latency_bound + service + response.latency_bound],
+            memory_service_flit_cycles=service)
+        assert report.all_satisfied

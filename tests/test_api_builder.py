@@ -3,10 +3,12 @@
 import pytest
 
 from repro.api import BuilderError, SystemBuilder, scenarios
+from repro.core.shells.multicast import MulticastShell
 from repro.core.shells.multiconnection import MultiConnectionShell
 from repro.core.shells.narrowcast import NarrowcastShell
 from repro.core.shells.point_to_point import PointToPointShell
 from repro.ip.traffic import ConstantBitRateTraffic
+from repro.mem.slave import DRAMBackedSlave
 from repro.protocol.transactions import Transaction
 
 
@@ -113,6 +115,50 @@ class TestFluentBuild:
         system.run_until_idle()
         assert system.memory("a").memory.read(0) == 1
         assert system.memory("b").memory.read(0) == 2
+
+    def test_multicast_connect_builds_multicast_shell(self):
+        system = (SystemBuilder("mc").mesh(1, 2)
+                  .add_master("m", router=(0, 0))
+                  .add_memory("a", router=(0, 1))
+                  .add_memory("b", router=(0, 1))
+                  .connect("m", ["a", "b"], multicast=True)
+                  .build())
+        assert isinstance(system.master("m").conn_shell, MulticastShell)
+        assert system.connection("m->a+b").spec.kind == "multicast"
+        master = system.master("m")
+        master.issue(Transaction.write(0x10, [7, 8]))
+        master.issue(Transaction.read(0x10, length=2))
+        system.run_until_idle()
+        # Every slave executed every transaction; the read completed once
+        # all slaves acknowledged and returned the first slave's data.
+        assert system.memory("a").memory.read_burst(0x10, 2) == [7, 8]
+        assert system.memory("b").memory.read_burst(0x10, 2) == [7, 8]
+        assert master.completed[-1].response.read_data == [7, 8]
+
+    def test_dram_backend_attaches_dram_slave(self):
+        system = (SystemBuilder("dram").mesh(1, 2)
+                  .add_master("cpu", router=(0, 0))
+                  .add_memory("mem", router=(0, 1), backend="dram",
+                              timing="fast", scheduler="frfcfs",
+                              banks=4, row_words=64)
+                  .connect("cpu", "mem")
+                  .build())
+        handle = system.memory("mem")
+        assert isinstance(handle.ip, DRAMBackedSlave)
+        assert handle.backend == "dram"
+        assert handle.dram.geometry.num_banks == 4
+        assert handle.dram.controller.scheduler.name == "frfcfs"
+        cpu = system.master("cpu")
+        cpu.issue(Transaction.write(0x40, [1, 2, 3]))
+        cpu.issue(Transaction.read(0x40, length=3))
+        system.run_until_idle()
+        assert cpu.completed[-1].response.read_data == [1, 2, 3]
+
+    def test_ideal_memory_rejects_dram_accessor(self):
+        system = build_p2p()
+        assert system.memory("mem").backend == "ideal"
+        with pytest.raises(BuilderError, match="ideal backend"):
+            system.memory("mem").dram
 
     def test_close_and_reopen_connection(self):
         system = build_p2p()
@@ -269,6 +315,73 @@ class TestValidationErrors:
                    .connect("dsp", ["a", "b"], narrowcast_ranges=[(0, 64)]))
         with pytest.raises(BuilderError,
                            match="1 narrowcast ranges for 2 slaves"):
+            builder.build()
+
+    def test_multicast_needs_two_slaves(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_master("m", router=(0, 0))
+                   .add_memory("a", router=(0, 1))
+                   .connect("m", ["a"], multicast=True))
+        with pytest.raises(BuilderError,
+                           match="multicast=True needs at least two slave"):
+            builder.build()
+
+    def test_multicast_excludes_narrowcast_ranges(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_master("m", router=(0, 0))
+                   .add_memory("a", router=(0, 1))
+                   .add_memory("b", router=(0, 1))
+                   .connect("m", ["a", "b"], multicast=True,
+                            narrowcast_ranges=[(0, 64), (64, 64)]))
+        with pytest.raises(BuilderError,
+                           match="cannot be combined with narrowcast_ranges"):
+            builder.build()
+
+    def test_unknown_memory_backend(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), backend="core_rope"))
+        with pytest.raises(BuilderError,
+                           match="unknown backend 'core_rope'"):
+            builder.build()
+
+    def test_dram_options_rejected_on_ideal_backend(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), scheduler="frfcfs",
+                               banks=4))
+        with pytest.raises(BuilderError,
+                           match="scheduler, banks only apply to "
+                                 "backend='dram'"):
+            builder.build()
+
+    def test_ideal_options_rejected_on_dram_backend(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), backend="dram",
+                               latency=100))
+        with pytest.raises(BuilderError,
+                           match="latency only apply to backend='ideal'"):
+            builder.build()
+
+    def test_unknown_dram_scheduler(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), backend="dram",
+                               scheduler="lifo"))
+        with pytest.raises(BuilderError,
+                           match="'mem': unknown DRAM scheduler 'lifo'"):
+            builder.build()
+
+    def test_unknown_dram_timing_preset(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), backend="dram",
+                               timing="warp"))
+        with pytest.raises(BuilderError,
+                           match="'mem': unknown DRAM timing preset"):
+            builder.build()
+
+    def test_invalid_dram_geometry(self):
+        builder = (SystemBuilder("t").mesh(1, 2)
+                   .add_memory("mem", router=(0, 1), backend="dram",
+                               banks=0))
+        with pytest.raises(BuilderError, match="'mem'.*at least one bank"):
             builder.build()
 
     def test_centralized_mode_needs_config_module(self):

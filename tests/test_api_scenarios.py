@@ -23,7 +23,9 @@ class TestRegistry:
         names = scenarios.names()
         for expected in ("point_to_point", "gt_be_mix", "narrowcast",
                          "config_system", "ring", "hotspot", "random_system",
-                         "idle_mesh", "saturated_mix", "saturated_grid"):
+                         "multicast", "dram_hotspot", "video_pipeline_dram",
+                         "dram_scheduler_mix", "idle_mesh", "saturated_mix",
+                         "saturated_grid", "saturated_dram"):
             assert expected in names
 
     def test_perf_tag_selects_perf_shapes(self):
@@ -31,7 +33,13 @@ class TestRegistry:
         assert "idle_mesh" in perf
         assert "saturated_grid" in perf
         assert "saturated_mix" in perf
+        assert "saturated_dram" in perf
         assert "point_to_point" not in perf
+
+    def test_dram_tag_selects_dram_workloads(self):
+        dram = scenarios.names(tag="dram")
+        assert set(dram) >= {"dram_hotspot", "video_pipeline_dram",
+                             "dram_scheduler_mix", "saturated_dram"}
 
     def test_unknown_scenario_is_actionable(self):
         with pytest.raises(scenarios.ScenarioError,

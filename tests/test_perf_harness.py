@@ -13,17 +13,22 @@ import pytest
 
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 _RUN_PERF = os.path.join(_REPO_ROOT, "benchmarks", "perf", "run_perf.py")
-_SCENARIOS = ("idle_mesh", "saturated_mix", "saturated_grid", "bus_vs_noc")
+_SCENARIOS = ("idle_mesh", "saturated_mix", "saturated_grid",
+              "saturated_dram", "bus_vs_noc")
+
+
+def _invoke(args, output):
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, _RUN_PERF, "--output", str(output)] + args,
+        capture_output=True, text=True, env=env, timeout=600)
 
 
 def _run(args, tmp_path):
     output = tmp_path / "BENCH_PERF.json"
-    env = dict(os.environ)
-    src = os.path.join(_REPO_ROOT, "src")
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    completed = subprocess.run(
-        [sys.executable, _RUN_PERF, "--output", str(output)] + args,
-        capture_output=True, text=True, env=env, timeout=600)
+    completed = _invoke(args, output)
     assert completed.returncode == 0, completed.stdout + completed.stderr
     with open(output) as handle:
         return json.load(handle)
@@ -40,6 +45,48 @@ def test_quick_smoke(tmp_path):
         assert entry["activity"]["median_wall_s"] > 0
     # The headline acceptance criterion, at quick scale.
     assert report["scenarios"]["idle_mesh"]["event_reduction"] >= 10
+
+
+def test_list_flag_names_every_scenario(tmp_path):
+    completed = _invoke(["--list"], tmp_path / "unused.json")
+    assert completed.returncode == 0, completed.stderr
+    for name in _SCENARIOS:
+        assert name in completed.stdout
+    assert not (tmp_path / "unused.json").exists()
+
+
+def test_only_flag_reruns_one_scenario_and_merges(tmp_path):
+    report = _run(["--quick"], tmp_path)
+    assert set(report["scenarios"]) == set(_SCENARIOS)
+    before = report["scenarios"]["idle_mesh"]
+    merged = _run(["--quick", "--only", "saturated_dram"], tmp_path)
+    # The rerun scenario was refreshed; the others were kept, not dropped.
+    assert set(merged["scenarios"]) == set(_SCENARIOS)
+    assert merged["scenarios"]["idle_mesh"] == before
+    assert merged["scenarios"]["saturated_dram"]["results_identical"]
+
+
+def test_only_flag_refuses_to_merge_mixed_regimes(tmp_path):
+    """A --quick rerun must not be merged into a full-run file: the other
+    scenarios' numbers would silently change meaning."""
+    output = tmp_path / "BENCH_PERF.json"
+    _run(["--quick"], tmp_path)
+    with open(output) as handle:
+        report = json.load(handle)
+    report["quick"] = False
+    report["repeats"] = 3
+    with open(output, "w") as handle:
+        json.dump(report, handle)
+    completed = _invoke(["--quick", "--only", "saturated_dram"], output)
+    assert completed.returncode != 0
+    assert "mixed measurement regimes" in completed.stdout + completed.stderr
+
+
+def test_only_flag_rejects_unknown_scenario(tmp_path):
+    completed = _invoke(["--quick", "--only", "warp_drive"],
+                        tmp_path / "out.json")
+    assert completed.returncode != 0
+    assert "warp_drive" in completed.stdout + completed.stderr
 
 
 @pytest.mark.slow
