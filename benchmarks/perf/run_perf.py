@@ -14,6 +14,9 @@ clocks, the default) and always-tick (seed semantics) — and writes
                        GT and BE rows and all three BE arbiters; a large
                        fully-busy workload that exercises the kernel/router
                        hot path rather than idle-skip.
+* ``saturated_torus``— a 4x4 torus whose GT/BE pairs cross rows, columns
+                       and wraparound links; exercises the dimension-ordered
+                       torus routing strategy and 5-port routers.
 * ``saturated_dram`` — several masters saturating one DRAM-backed memory
                        (bank hotspot, FR-FCFS scheduling) plus an
                        ideal-memory control pair; exercises the repro.mem
@@ -131,6 +134,25 @@ def scenario_saturated_grid(cycles: int) -> Tuple[object, int]:
     return fingerprint, system.sim.executed_events
 
 
+def scenario_saturated_torus(cycles: int) -> Tuple[object, int]:
+    """A 4x4 torus under saturating mixed GT/BE load.
+
+    Four master/slave pairs placed diagonally so every dimension-ordered
+    route mixes line hops with single-hop wraparound links; exercises the
+    torus routing strategy and the higher-degree (5-port) routers.
+    """
+    system = scenarios.build("saturated_torus")
+    system.run_flit_cycles(cycles)
+    fingerprint = _normalize({
+        "flits": system.noc.total_flits_forwarded(),
+        "kernels": {name: kernel.stats.summary()
+                    for name, kernel in system.kernels.items()},
+        "latencies": {handle.ip.name: handle.latency_summary()
+                      for handle in system.masters.values()},
+    })
+    return fingerprint, system.sim.executed_events
+
+
 def scenario_saturated_dram(cycles: int) -> Tuple[object, int]:
     """Masters saturating one DRAM-backed memory plus an ideal control pair.
 
@@ -186,6 +208,7 @@ SCENARIOS: Dict[str, Callable[[int], Tuple[object, int]]] = {
     "idle_mesh": scenario_idle_mesh,
     "saturated_mix": scenario_saturated_mix,
     "saturated_grid": scenario_saturated_grid,
+    "saturated_torus": scenario_saturated_torus,
     "saturated_dram": scenario_saturated_dram,
     "bus_vs_noc": scenario_bus_vs_noc,
 }
@@ -195,6 +218,7 @@ CYCLES = {
     "idle_mesh": (20000, 1500),
     "saturated_mix": (4000, 400),
     "saturated_grid": (1500, 150),
+    "saturated_torus": (2000, 200),
     "saturated_dram": (3000, 300),
     "bus_vs_noc": (2500, 400),
 }

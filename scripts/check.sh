@@ -56,9 +56,13 @@ EOF
 echo "== BENCH_PERF.json staleness =="
 # Paths whose changes affect the tracked perf numbers: a commit (or working
 # tree) touching them without regenerating BENCH_PERF.json is stale.
+# src/repro/network covers topology factories and routing strategies (route
+# computation happens inside the timed build of every perf scenario);
+# src/repro/analysis is included because the builder's deadlock check runs
+# the channel-dependency analysis on that same timed path.
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
-              src/repro/design src/repro/ip src/repro/mem src/repro/testbench.py
-              benchmarks/perf/run_perf.py)
+              src/repro/design src/repro/ip src/repro/mem src/repro/analysis
+              src/repro/testbench.py benchmarks/perf/run_perf.py)
 if git rev-parse --git-dir >/dev/null 2>&1; then
   stale=""
   # Uncommitted engine edits require an uncommitted (fresh) BENCH_PERF.json.

@@ -12,6 +12,18 @@ and a path length; :mod:`repro.analysis.verification` checks measured
 simulation results against them (experiments E4/E5).
 """
 
+from repro.analysis.deadlock import (
+    DeadlockError,
+    DeadlockReport,
+    DeadlockWarning,
+    analyze_noc_routes,
+    analyze_route_links,
+    analyze_sequences,
+    analyze_strategy,
+    assert_deadlock_free,
+    channel_dependency_graph,
+    find_cycle,
+)
 from repro.analysis.guarantees import (
     GTGuarantees,
     jitter_bound_slots,
@@ -27,9 +39,19 @@ from repro.analysis.verification import (
 )
 
 __all__ = [
+    "DeadlockError",
+    "DeadlockReport",
+    "DeadlockWarning",
     "GTGuarantees",
     "GuaranteeCheck",
     "VerificationReport",
+    "analyze_noc_routes",
+    "analyze_route_links",
+    "analyze_sequences",
+    "analyze_strategy",
+    "assert_deadlock_free",
+    "channel_dependency_graph",
+    "find_cycle",
     "jitter_bound_slots",
     "latency_bound_flit_cycles",
     "slot_waiting_bound",

@@ -6,7 +6,11 @@ arbitrary topologies whose connections are opened and closed at run time.
 elaborated simulated system:
 
 * declare a topology (:meth:`SystemBuilder.mesh`, :meth:`SystemBuilder.ring`,
-  :meth:`SystemBuilder.single_router`);
+  :meth:`SystemBuilder.single_router`, :meth:`SystemBuilder.torus`,
+  :meth:`SystemBuilder.double_ring`, :meth:`SystemBuilder.tree`, or any graph
+  at all through :meth:`SystemBuilder.custom_topology`) and optionally a
+  routing strategy (the ``routing=`` knob of every topology method, plus a
+  per-connection override on :meth:`SystemBuilder.connect`);
 * attach IP modules to NIs (:meth:`SystemBuilder.add_master`,
   :meth:`SystemBuilder.add_memory`, :meth:`SystemBuilder.add_node`,
   :meth:`SystemBuilder.add_config_module`);
@@ -32,6 +36,7 @@ shortcuts.  See ``BUILDING.md`` for the full pipeline walk-through and
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -67,7 +72,17 @@ from repro.mem.timing import (
     make_geometry,
     resolve_timing,
 )
-from repro.network.topology import Topology
+from repro.analysis.deadlock import (
+    DeadlockReport,
+    DeadlockWarning,
+    analyze_noc_routes,
+)
+from repro.network.routing import (
+    RouteError,
+    RoutingStrategy,
+    make_routing,
+)
+from repro.network.topology import Topology, TopologyError, make_topology
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -159,6 +174,8 @@ class _ConnDecl:
     narrowcast_ranges: Optional[List[Tuple[int, int]]]
     translate_addresses: bool
     multicast: bool = False
+    #: Per-connection routing override (strategy instance), None = default.
+    routing: Optional[RoutingStrategy] = None
 
 
 # ---------------------------------------------------------------------------
@@ -264,7 +281,8 @@ class System:
                  cnip_slaves: Optional[Dict[str, ConfigurationSlave]] = None,
                  bootstrap_operations: int = 0,
                  configuration_mode: str = "functional",
-                 tracer: Tracer = NULL_TRACER) -> None:
+                 tracer: Tracer = NULL_TRACER,
+                 deadlock_report: Optional[DeadlockReport] = None) -> None:
         self.model = model
         self.configuration_mode = configuration_mode
         self.masters = masters
@@ -276,6 +294,9 @@ class System:
         self.cnip_slaves = dict(cnip_slaves or {})
         self.bootstrap_operations = bootstrap_operations
         self.tracer = tracer
+        #: The channel-dependency-graph analysis of the declared BE routes
+        #: (None when built with ``options(deadlock_check="off")``).
+        self.deadlock_report = deadlock_report
 
     # --------------------------------------------------------------- lookups
     @property
@@ -425,11 +446,19 @@ class SystemBuilder:
     def __init__(self, name: str = "system") -> None:
         self.name = name
         self._topology_kind: Optional[str] = None
-        self._rows = 1
-        self._cols = 2
+        #: Factory keyword arguments for the topology registry
+        #: (``{"rows": ..., "cols": ...}``, ``{"num_routers": ...}``, ...).
+        self._topology_params: Dict[str, object] = {}
+        #: A pre-built custom topology (``custom_topology``), else None.
+        self._custom_topo: Optional[Topology] = None
         self._num_slots = 8
         self._be_buffer_flits = 8
-        self._routing = "auto"
+        self._routing: Union[str, RoutingStrategy] = "auto"
+        #: True once the user chose a strategy explicitly (routing() or a
+        #: topology method's routing=); topology defaults then never
+        #: overwrite it, regardless of call order.
+        self._routing_explicit = False
+        self._deadlock_check = "warn"
         self._decls: List[_IPDecl] = []
         self._connections: List[_ConnDecl] = []
         self._mode = "functional"
@@ -441,31 +470,124 @@ class SystemBuilder:
 
     # ------------------------------------------------------------- topology
     def mesh(self, rows: int, cols: int, *, num_slots: int = 8,
-             be_buffer_flits: int = 8, routing: str = "auto") -> "SystemBuilder":
-        """A ``rows x cols`` mesh; routers are ``(row, col)`` tuples."""
-        return self._set_topology("mesh", rows, cols, num_slots,
-                                  be_buffer_flits, routing)
+             be_buffer_flits: int = 8,
+             routing: Optional[Union[str, RoutingStrategy]] = None
+             ) -> "SystemBuilder":
+        """A ``rows x cols`` mesh; routers are ``(row, col)`` tuples.
+
+        ``routing=None`` keeps an explicitly chosen strategy (see
+        :meth:`routing`) or falls back to ``"auto"`` (XY on meshes).
+        """
+        return self._set_topology("mesh", {"rows": rows, "cols": cols},
+                                  num_slots, be_buffer_flits, routing)
+
+    def torus(self, rows: int, cols: int, *, num_slots: int = 8,
+              be_buffer_flits: int = 8,
+              routing: Optional[Union[str, RoutingStrategy]] = None
+              ) -> "SystemBuilder":
+        """A ``rows x cols`` torus (mesh plus wraparound links).
+
+        Routers are ``(row, col)`` tuples.  The default routing strategy is
+        the deadlock-safe
+        :class:`~repro.network.routing.TorusDimensionOrdered`; pass
+        ``routing="shortest"`` only if you know the declared best-effort
+        routes cannot form a channel-dependency cycle (the builder checks).
+        """
+        return self._set_topology("torus", {"rows": rows, "cols": cols},
+                                  num_slots, be_buffer_flits, routing,
+                                  default_routing="torus")
 
     def ring(self, num_routers: int, *, num_slots: int = 8,
-             be_buffer_flits: int = 8, routing: str = "auto") -> "SystemBuilder":
+             be_buffer_flits: int = 8,
+             routing: Optional[Union[str, RoutingStrategy]] = None
+             ) -> "SystemBuilder":
         """A ring of ``num_routers`` routers; routers are ints ``0..n-1``."""
-        return self._set_topology("ring", 1, num_routers, num_slots,
-                                  be_buffer_flits, routing)
+        return self._set_topology("ring", {"num_routers": num_routers},
+                                  num_slots, be_buffer_flits, routing)
+
+    def double_ring(self, num_routers: int, *, num_slots: int = 8,
+                    be_buffer_flits: int = 8,
+                    routing: Optional[Union[str, RoutingStrategy]] = None
+                    ) -> "SystemBuilder":
+        """Two concentric rings joined by spokes; routers are
+        ``("in", i)`` / ``("out", i)`` tuples."""
+        return self._set_topology("double_ring",
+                                  {"num_routers": num_routers},
+                                  num_slots, be_buffer_flits, routing)
+
+    def tree(self, arity: int, depth: int, *, num_slots: int = 8,
+             be_buffer_flits: int = 8,
+             routing: Optional[Union[str, RoutingStrategy]] = None
+             ) -> "SystemBuilder":
+        """A rooted ``arity``-ary tree of ``depth`` levels of edges;
+        routers are ints numbered breadth-first from the root.
+
+        Shortest-path routing on a tree is unique and deadlock-free (trees
+        have no cycles), so the ``auto`` default is already safe.
+        """
+        return self._set_topology("tree", {"arity": arity, "depth": depth},
+                                  num_slots, be_buffer_flits, routing)
 
     def single_router(self, *, num_slots: int = 8,
                       be_buffer_flits: int = 8) -> "SystemBuilder":
         """Everything attached to one router (bus-like degenerate NoC)."""
-        return self._set_topology("single", 1, 1, num_slots,
-                                  be_buffer_flits, "auto")
+        return self._set_topology("single", {}, num_slots,
+                                  be_buffer_flits, None)
 
-    def _set_topology(self, kind: str, rows: int, cols: int, num_slots: int,
-                      be_buffer_flits: int, routing: str) -> "SystemBuilder":
+    def custom_topology(self, topology: Topology, *, num_slots: int = 8,
+                        be_buffer_flits: int = 8,
+                        routing: Optional[Union[str, RoutingStrategy]] = None
+                        ) -> "SystemBuilder":
+        """Any user-built :class:`~repro.network.topology.Topology`.
+
+        The graph is captured into the design spec as node/edge lists, so
+        the built system's spec still serializes to XML and rebuilds
+        identically.  The graph must be connected and non-empty (checked at
+        :meth:`build` time).  Combine with
+        :class:`~repro.network.routing.TableRouting` when shortest-path
+        routes would not be deadlock-safe.
+        """
+        if not isinstance(topology, Topology):
+            raise BuilderError(
+                f"custom_topology() takes a Topology, got "
+                f"{type(topology).__name__} (build one with "
+                "Topology.custom(nodes, edges) or the add_router/connect "
+                "primitives)")
+        self._custom_topo = topology
+        # The node/edge lists are captured at build() time (the graph may
+        # still be extended); only the name is needed before then.
+        return self._set_topology("custom", {"name": topology.name},
+                                  num_slots, be_buffer_flits, routing)
+
+    def _set_topology(self, kind: str, params: Dict[str, object],
+                      num_slots: int, be_buffer_flits: int,
+                      routing: Optional[Union[str, RoutingStrategy]],
+                      default_routing: Union[str, RoutingStrategy] = "auto"
+                      ) -> "SystemBuilder":
+        if kind != "custom":
+            self._custom_topo = None
         self._topology_kind = kind
-        self._rows = rows
-        self._cols = cols
+        self._topology_params = params
         self._num_slots = num_slots
         self._be_buffer_flits = be_buffer_flits
-        self._routing = routing
+        if routing is not None:
+            self._routing = routing
+            self._routing_explicit = True
+        elif not self._routing_explicit:
+            # Topology defaults never override an explicit routing() call,
+            # whichever came first.
+            self._routing = default_routing
+        return self
+
+    def routing(self, strategy: Union[str, RoutingStrategy]) -> "SystemBuilder":
+        """Set the system-wide routing strategy (name or instance).
+
+        Equivalent to the ``routing=`` keyword of the topology methods and
+        order-independent with them; per-connection overrides go through
+        ``connect(..., routing=...)``.
+        """
+        self._routing = strategy
+        self._routing_explicit = True
         return self
 
     # -------------------------------------------------------------- options
@@ -480,11 +602,28 @@ class SystemBuilder:
         return self
 
     def options(self, *, router_slot_tables: Optional[bool] = None,
-                strict_gt: Optional[bool] = None) -> "SystemBuilder":
+                strict_gt: Optional[bool] = None,
+                deadlock_check: Optional[str] = None) -> "SystemBuilder":
+        """Tune build-time behavior.
+
+        ``deadlock_check`` controls the channel-dependency-graph analysis
+        run over the declared best-effort routes at :meth:`build` time:
+        ``"warn"`` (default) emits a
+        :class:`~repro.analysis.deadlock.DeadlockWarning` on a cycle,
+        ``"error"`` raises :class:`BuilderError`, ``"off"`` skips the
+        analysis entirely.  Guaranteed-throughput connections are exempt
+        (TDMA slots never block).
+        """
         if router_slot_tables is not None:
             self._router_slot_tables = router_slot_tables
         if strict_gt is not None:
             self._strict_gt = strict_gt
+        if deadlock_check is not None:
+            if deadlock_check not in ("warn", "error", "off"):
+                raise BuilderError(
+                    f"unknown deadlock_check mode {deadlock_check!r} "
+                    "(expected 'warn', 'error' or 'off')")
+            self._deadlock_check = deadlock_check
         return self
 
     def configuration(self, mode: str) -> "SystemBuilder":
@@ -638,7 +777,9 @@ class SystemBuilder:
                 data_threshold: int = 1, credit_threshold: int = 1,
                 narrowcast_ranges: Optional[Sequence] = None,
                 multicast: bool = False,
-                translate_addresses: bool = True) -> "SystemBuilder":
+                translate_addresses: bool = True,
+                routing: Optional[Union[str, RoutingStrategy]] = None
+                ) -> "SystemBuilder":
         """Declare a connection from ``master`` to one or more slaves.
 
         With a single slave this is a point-to-point connection.  With
@@ -652,7 +793,19 @@ class SystemBuilder:
         ``gt=True`` reserves TDMA slots on both the request and response
         channels — ``slots`` for both directions, or ``request_slots`` /
         ``response_slots`` individually (default 2 each).
+
+        ``routing`` overrides the system-wide routing strategy for every
+        channel of this connection — a registered name (``"xy"``,
+        ``"shortest"``, ``"torus"``) or a
+        :class:`~repro.network.routing.RoutingStrategy` instance such as
+        :class:`~repro.network.routing.TableRouting`.
         """
+        if routing is not None:
+            try:
+                routing = make_routing(routing)
+            except RouteError as exc:
+                raise BuilderError(
+                    f"connection {name or master!r}: {exc}") from None
         slaves = [slave] if isinstance(slave, str) else list(slave)
         if gt:
             base = 2 if slots is None else slots
@@ -675,7 +828,7 @@ class SystemBuilder:
             request_slots=req, response_slots=resp,
             data_threshold=data_threshold, credit_threshold=credit_threshold,
             narrowcast_ranges=ranges, multicast=multicast,
-            translate_addresses=translate_addresses))
+            translate_addresses=translate_addresses, routing=routing))
         return self
 
     # ------------------------------------------------------------ validation
@@ -683,14 +836,41 @@ class SystemBuilder:
         if self._topology_kind is None:
             raise BuilderError(
                 "no topology declared: call mesh(rows, cols), "
-                "ring(num_routers) or single_router() before build()")
-        if self._topology_kind == "mesh":
-            return Topology.mesh(self._rows, self._cols)
-        if self._topology_kind == "ring":
-            return Topology.ring(max(self._rows * self._cols, self._cols))
-        return Topology.single_router()
+                "ring(num_routers), torus(rows, cols), tree(arity, depth), "
+                "double_ring(num_routers), custom_topology(topology) or "
+                "single_router() before build()")
+        if self._custom_topo is not None:
+            topology = self._custom_topo
+            # Re-capture the node/edge lists at build time so a graph the
+            # caller extended after custom_topology() still matches the
+            # elaborated spec.
+            nodes, edges = topology.node_edge_lists()
+            self._topology_params = {"nodes": nodes, "edges": edges,
+                                     "name": topology.name}
+        else:
+            try:
+                topology = make_topology(self._topology_kind,
+                                         **self._topology_params)
+            except TopologyError as exc:
+                raise BuilderError(
+                    f"{self._describe_topology()}: {exc}") from None
+        if topology.num_routers == 0:
+            raise BuilderError(
+                f"{self._describe_topology()} has no routers; declare at "
+                "least one")
+        if not topology.is_connected():
+            raise BuilderError(
+                f"{self._describe_topology()} is not connected; every "
+                "router must be reachable from every other (add bridging "
+                "edges)")
+        return topology
 
     def _validate(self, topology: Topology) -> None:
+        # Routing strategies must resolve (system-wide and per-connection).
+        try:
+            make_routing(self._routing)
+        except RouteError as exc:
+            raise BuilderError(str(exc)) from None
         # Unique declaration and NI names.
         seen_names: Dict[str, str] = {}
         seen_nis: Dict[str, str] = {}
@@ -855,11 +1035,22 @@ class SystemBuilder:
                 add(memories[slave_name], conn.response_slots, conn.name)
 
     def _describe_topology(self) -> str:
-        if self._topology_kind == "mesh":
-            return f"{self._rows}x{self._cols} mesh"
+        params = self._topology_params
+        if self._topology_kind in ("mesh", "torus"):
+            return (f"{params.get('rows')}x{params.get('cols')} "
+                    f"{self._topology_kind}")
         if self._topology_kind == "ring":
-            return f"{max(self._rows * self._cols, self._cols)}-router ring"
-        return "single-router topology"
+            return f"{params.get('num_routers')}-router ring"
+        if self._topology_kind == "double_ring":
+            return f"{params.get('num_routers')}-stop double ring"
+        if self._topology_kind == "tree":
+            return (f"{params.get('arity')}-ary depth-"
+                    f"{params.get('depth')} tree")
+        if self._topology_kind == "custom":
+            return f"custom topology {params.get('name', 'custom')!r}"
+        if self._topology_kind == "single":
+            return "single-router topology"
+        return f"{self._topology_kind} topology"
 
     # ------------------------------------------------------------ elaboration
     def build(self) -> System:
@@ -891,6 +1082,10 @@ class SystemBuilder:
         model = build_system(spec, sim=self._sim,
                              router_slot_tables=self._router_slot_tables,
                              strict_gt=self._strict_gt, tracer=self._tracer)
+
+        # Deadlock safety net for the declared best-effort routes (GT
+        # channels move on reserved TDMA slots and cannot block).
+        deadlock_report = self._check_deadlock(model, masters, memories)
 
         # Attach shells and IP modules in declaration order.
         master_handles: Dict[str, MasterHandle] = {}
@@ -952,7 +1147,36 @@ class SystemBuilder:
                       config_manager=config_manager, cnip_slaves=cnip_slaves,
                       bootstrap_operations=bootstrap_ops,
                       configuration_mode=self._mode,
-                      tracer=self._tracer)
+                      tracer=self._tracer,
+                      deadlock_report=deadlock_report)
+
+    def _check_deadlock(self, model: SystemModel,
+                        masters: Dict[str, _MasterDecl],
+                        memories: Dict[str, _MemoryDecl]
+                        ) -> Optional[DeadlockReport]:
+        """Channel-dependency-graph analysis of the declared BE routes."""
+        if self._deadlock_check == "off":
+            return None
+        routes: List[Tuple[str, str, str, Optional[object]]] = []
+        for conn in self._connections:
+            if conn.gt:
+                continue
+            master_ni = masters[conn.master].ni
+            for slave_name in conn.slaves:
+                slave_ni = memories[slave_name].ni
+                routes.append((f"{conn.name}:request", master_ni, slave_ni,
+                               conn.routing))
+                routes.append((f"{conn.name}:response", slave_ni, master_ni,
+                               conn.routing))
+        report = analyze_noc_routes(model.noc, routes)
+        if not report.ok:
+            message = (f"system {self.name!r}: {report.describe()}")
+            if self._deadlock_check == "error":
+                raise BuilderError(
+                    message + " — or relax the gate with "
+                    "options(deadlock_check='warn'/'off')")
+            warnings.warn(message, DeadlockWarning, stacklevel=3)
+        return report
 
     # ----------------------------------------------------- elaboration detail
     def _place(self, decl: _IPDecl, nodes: List[Hashable]) -> Hashable:
@@ -1026,11 +1250,22 @@ class SystemBuilder:
                                    be_arbiter=decl.be_arbiter,
                                    max_packet_words=decl.max_packet_words,
                                    ports=ports))
+        params = self._topology_params
+        if self._topology_kind in ("mesh", "torus"):
+            rows, cols = int(params["rows"]), int(params["cols"])
+        elif self._topology_kind == "ring":
+            # Legacy spec encoding kept for compatibility: a ring was
+            # historically stored as (rows=1, cols=n); the authoritative
+            # size now lives in topology_params["num_routers"].
+            rows, cols = 1, int(params["num_routers"])
+        else:
+            rows, cols = 1, max(len(nodes), 1)
         return NoCSpec(name=self.name, topology=self._topology_kind,
-                       rows=self._rows, cols=self._cols,
+                       rows=rows, cols=cols,
                        num_slots=self._num_slots,
                        be_buffer_flits=self._be_buffer_flits,
-                       routing=self._routing, nis=ni_specs)
+                       routing=self._routing,
+                       topology_params=dict(params), nis=ni_specs)
 
     def _attach_master(self, model: SystemModel, decl: _MasterDecl,
                        conn: Optional[_ConnDecl],
@@ -1151,4 +1386,5 @@ class SystemBuilder:
                 response_gt=conn.gt, response_slots=conn.response_slots,
                 data_threshold=conn.data_threshold,
                 credit_threshold=conn.credit_threshold))
-        return ConnectionSpec(name=conn.name, kind=kind, pairs=pairs)
+        return ConnectionSpec(name=conn.name, kind=kind, pairs=pairs,
+                              routing=conn.routing)

@@ -16,8 +16,11 @@ The four classic set-ups of the paper's experiments are registered
 the legacy ``repro.testbench`` builders are thin wrappers over these —
 plus newer workloads: a ``ring`` topology pipeline, ``hotspot`` traffic
 into one shared memory (multi-connection shell), a seeded ``random_system``
-generator, and the perf-suite shapes ``idle_mesh``, ``saturated_mix`` and
-``saturated_grid``.
+generator, the topology-gallery scenarios ``torus_neighbor``,
+``tree_hotspot`` and ``irregular_soc`` (the paper's ~10-router arbitrary
+floorplan through ``custom_topology``), the DRAM-backed workloads, and the
+perf-suite shapes ``idle_mesh``, ``saturated_mix``, ``saturated_grid`` and
+``saturated_torus``.
 
 Register your own with the decorator::
 
@@ -46,6 +49,7 @@ from repro.ip.traffic import (
     TrafficPattern,
     VideoLineTraffic,
 )
+from repro.network.topology import Topology
 
 
 class ScenarioError(KeyError):
@@ -364,6 +368,132 @@ def _random_system(seed: int = 1, max_pairs: int = 4,
     return builder.build()
 
 
+@scenario("torus_neighbor",
+          description="One master per torus router streaming to its +x "
+                      "neighbour's memory; wraparound links carry the edge "
+                      "columns, dimension-ordered routing keeps BE "
+                      "deadlock-free (checked at build).",
+          tags=("functional", "topology"))
+def _torus_neighbor(rows: int = 3, cols: int = 3, period_cycles: int = 8,
+                    burst_words: int = 4, gt_rows: int = 1,
+                    max_transactions: Optional[int] = 10) -> System:
+    if rows < 1 or cols < 3:
+        raise ValueError("the neighbour torus needs at least 1x3 routers")
+    builder = (SystemBuilder("torus_neighbor")
+               .torus(rows, cols)
+               .options(deadlock_check="error"))
+    for r in range(rows):
+        gt = r < gt_rows
+        for c in range(cols):
+            master, memory = f"m{r}_{c}", f"mem{r}_{c}"
+            builder.add_master(master, router=(r, c),
+                               pattern=ConstantBitRateTraffic(
+                                   period_cycles=period_cycles,
+                                   burst_words=burst_words, write=True,
+                                   posted=True,
+                                   base_address=(r * cols + c) << 16),
+                               max_transactions=max_transactions)
+            builder.add_memory(memory, router=(r, (c + 1) % cols))
+            builder.connect(master, memory, gt=gt,
+                            slots=2 if gt else None)
+    return builder.build()
+
+
+@scenario("tree_hotspot",
+          description="Leaf masters of an arity-ary tree hammering one "
+                      "memory at the root: tree routes are unique and "
+                      "acyclic, so the deadlock gate can run in error mode.",
+          tags=("functional", "topology"))
+def _tree_hotspot(arity: int = 2, depth: int = 2, period_cycles: int = 6,
+                  burst_words: int = 4,
+                  max_transactions: Optional[int] = 10,
+                  scheduling: str = "queue_fill") -> System:
+    if arity < 1 or depth < 1:
+        raise ValueError("the tree hotspot needs at least one leaf level")
+    num_nodes = sum(arity ** level for level in range(depth + 1))
+    first_leaf = num_nodes - arity ** depth
+    builder = (SystemBuilder("tree_hotspot")
+               .tree(arity, depth)
+               .options(deadlock_check="error")
+               .add_memory("root_mem", router=0, scheduling=scheduling))
+    for index, leaf in enumerate(range(first_leaf, num_nodes)):
+        builder.add_master(f"leaf{index}", router=leaf,
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               base_address=index << 16),
+                           max_transactions=max_transactions)
+        builder.connect(f"leaf{index}", "root_mem")
+    return builder.build()
+
+
+def _paper_floorplan() -> Topology:
+    """The ~10-router irregular SoC graph used by ``irregular_soc``.
+
+    Mirrors the paper's target: a small heterogeneous SoC (host CPU, DSP
+    cluster, video path, peripherals) whose floorplan dictates an irregular
+    link structure rather than a regular grid.
+    """
+    nodes = [
+        ("cpu", {"block": "host"}),
+        ("bridge", {"block": "interconnect"}),
+        ("dsp_a", {"block": "dsp"}),
+        ("dsp_b", {"block": "dsp"}),
+        ("accel", {"block": "accelerator"}),
+        ("video", {"block": "video"}),
+        ("audio", {"block": "audio"}),
+        ("io", {"block": "peripherals"}),
+        ("mem_ctrl", {"block": "memory"}),
+        ("sram_ctrl", {"block": "memory"}),
+    ]
+    edges = [
+        ("cpu", "bridge"), ("cpu", "dsp_a"),
+        ("bridge", "mem_ctrl"), ("bridge", "sram_ctrl"), ("bridge", "io"),
+        ("dsp_a", "dsp_b"), ("dsp_a", "mem_ctrl"),
+        ("dsp_b", "accel"),
+        ("accel", "video"),
+        ("video", "io"),
+        ("audio", "io"),
+        ("sram_ctrl", "dsp_b"),
+    ]
+    return Topology.custom(nodes, edges, name="paper_soc")
+
+
+@scenario("irregular_soc",
+          description="A ~10-router irregular SoC floorplan (host CPU, DSP "
+                      "cluster, video path, two memories) built through "
+                      "custom_topology - the paper's arbitrary-topology "
+                      "claim end to end.",
+          tags=("functional", "topology"))
+def _irregular_soc(period_cycles: int = 8, burst_words: int = 4,
+                   max_transactions: Optional[int] = 8,
+                   gt_slots: int = 2) -> System:
+    builder = (SystemBuilder("irregular_soc")
+               .custom_topology(_paper_floorplan())
+               .options(deadlock_check="error")
+               .add_memory("sdram", router="mem_ctrl", words=8192,
+                           scheduling="queue_fill")
+               .add_memory("sram", router="sram_ctrl", words=4096,
+                           scheduling="queue_fill")
+               .add_memory("frame", router="io", words=4096))
+    traffic = [
+        ("host", "cpu", "sdram", True),       # control traffic, guaranteed
+        ("dsp0", "dsp_a", "sdram", False),
+        ("dsp1", "dsp_b", "sram", False),
+        ("cam", "video", "frame", True),      # streaming video, guaranteed
+        ("mix", "audio", "sram", False),
+    ]
+    for index, (name, router, target, gt) in enumerate(traffic):
+        builder.add_master(name, router=router,
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               base_address=index << 16),
+                           max_transactions=max_transactions)
+        builder.connect(name, target, gt=gt, slots=gt_slots if gt else None)
+    return builder.build()
+
+
 @scenario("multicast",
           description="One master whose transactions are duplicated onto "
                       "several memories, all executing every write "
@@ -554,6 +684,30 @@ def _saturated_dram(num_masters: int = 3, period_cycles: int = 4,
                            burst_words=burst_words, write=True, posted=True))
     builder.add_memory("ideal", router=(0, 1))
     builder.connect("ctl", "ideal")
+    return builder.build()
+
+
+@scenario("saturated_torus",
+          description="A 4x4 torus under saturating mixed GT/BE load whose "
+                      "pairs cross rows, columns and wraparound links "
+                      "(perf-suite shape of the torus routing hot path).",
+          tags=("perf", "topology"))
+def _saturated_torus(rows: int = 4, cols: int = 4) -> System:
+    builder = SystemBuilder("saturated_torus").torus(rows, cols)
+    for r in range(rows):
+        gt = r % 2 == 0
+        master, slave = f"m{r}", f"s{r}"
+        # Source and sink move diagonally so the dimension-ordered routes
+        # mix line hops with single-hop wraparounds in both dimensions.
+        src = (r, r % cols)
+        dst = ((r + 1) % rows, (r + cols - 1) % cols)
+        pattern = ConstantBitRateTraffic(period_cycles=8 if gt else 4,
+                                         burst_words=4, write=True,
+                                         posted=True, base_address=r << 16)
+        builder.add_master(master, router=src, ip_name=f"{master}_ip",
+                           pattern=pattern)
+        builder.add_memory(slave, router=dst, ip_name=f"{slave}_mem")
+        builder.connect(master, slave, name=f"c_{master}", gt=gt, slots=2)
     return builder.build()
 
 

@@ -69,11 +69,18 @@ class ChannelPairSpec:
 
 @dataclass
 class ConnectionSpec:
-    """A complete connection: point-to-point, narrowcast or multicast."""
+    """A complete connection: point-to-point, narrowcast or multicast.
+
+    ``routing`` optionally overrides the NoC's default routing strategy for
+    every channel of this connection (a registered strategy name or a
+    :class:`~repro.network.routing.RoutingStrategy` instance); ``None``
+    keeps the NoC default.
+    """
 
     name: str
     kind: str = "p2p"  # p2p | narrowcast | multicast
     pairs: List[ChannelPairSpec] = field(default_factory=list)
+    routing: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("p2p", "narrowcast", "multicast"):
@@ -177,7 +184,8 @@ def build_open_program(noc: NoC, kernels: Dict[str, NIKernel],
             source_ni=pair.slave.ni, source_kernel=slave_kernel,
             source_channel=pair.slave.channel,
             dest_kernel=master_kernel, dest_channel=pair.master.channel,
-            path=noc.route(pair.slave.ni, pair.master.ni),
+            path=noc.route(pair.slave.ni, pair.master.ni,
+                           routing=spec.routing),
             gt=pair.response_gt, slots=response_slots,
             data_threshold=pair.data_threshold,
             credit_threshold=pair.credit_threshold,
@@ -187,7 +195,8 @@ def build_open_program(noc: NoC, kernels: Dict[str, NIKernel],
             source_ni=pair.master.ni, source_kernel=master_kernel,
             source_channel=pair.master.channel,
             dest_kernel=slave_kernel, dest_channel=pair.slave.channel,
-            path=noc.route(pair.master.ni, pair.slave.ni),
+            path=noc.route(pair.master.ni, pair.slave.ni,
+                           routing=spec.routing),
             gt=pair.request_gt, slots=request_slots,
             data_threshold=pair.data_threshold,
             credit_threshold=pair.credit_threshold,

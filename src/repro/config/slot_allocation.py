@@ -179,9 +179,11 @@ def build_requests_for_connection(noc: NoC, spec,
                                   num_slots: int) -> List[SlotRequest]:
     """Slot requests for every GT channel of a connection spec."""
     requests: List[SlotRequest] = []
+    routing = getattr(spec, "routing", None)
     for source, dest, slots in spec.gt_channel_requests():
         requests.append(SlotRequest(
             ni=source.ni, channel=source.channel, slots_required=slots,
-            link_ids=noc.route_link_ids(source.ni, dest.ni)))
+            link_ids=noc.route_link_ids(source.ni, dest.ni,
+                                        routing=routing)))
     del num_slots
     return requests

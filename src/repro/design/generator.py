@@ -19,7 +19,7 @@ from repro.core.kernel import NIKernel
 from repro.core.ni import NetworkInterface
 from repro.design.spec import NISpec, NoCSpec, SpecError
 from repro.network.noc import NoC, NoCBuilder
-from repro.network.topology import Topology
+from repro.network.topology import Topology, make_topology
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -118,11 +118,21 @@ class SystemModel:
 
 
 def _build_topology(spec: NoCSpec) -> Topology:
+    """Instantiate the spec's topology through the factory registry.
+
+    ``topology_params`` carries the factory arguments; when absent the
+    legacy ``rows`` / ``cols`` encoding of the three seed kinds applies
+    (ring size was historically packed as ``(rows=1, cols=n)``).
+    """
+    if spec.topology_params:
+        return make_topology(spec.topology, **spec.topology_params)
     if spec.topology == "mesh":
         return Topology.mesh(spec.rows, spec.cols)
     if spec.topology == "ring":
         return Topology.ring(max(spec.rows * spec.cols, spec.cols))
-    return Topology.single_router()
+    if spec.topology in ("single", "single_router"):
+        return Topology.single_router()
+    return make_topology(spec.topology)
 
 
 def build_system(spec: NoCSpec, sim: Optional[Simulator] = None,

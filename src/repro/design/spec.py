@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.network.routing import ROUTING_STRATEGIES
+from repro.network.topology import TOPOLOGY_FACTORIES
+
 #: Port kinds.
 PORT_KINDS = ("master", "slave", "config")
 #: Shells that may be attached to a port at design time.
@@ -108,20 +111,43 @@ class NISpec:
 
 @dataclass
 class NoCSpec:
-    """A whole NoC instance: topology plus its NIs."""
+    """A whole NoC instance: topology plus its NIs.
+
+    ``topology`` names a factory of the topology registry
+    (:data:`repro.network.topology.TOPOLOGY_FACTORIES`: ``mesh``, ``ring``,
+    ``single``, ``torus``, ``double_ring``, ``tree``, ``custom``, plus any
+    user-registered kind); ``topology_params`` carries that factory's
+    keyword arguments (e.g. ``{"num_routers": 5}`` for a ring or the
+    node/edge lists of a custom graph).  When ``topology_params`` is empty,
+    the legacy ``rows`` / ``cols`` encoding is used for the three seed
+    kinds, so old specs and XML files elaborate unchanged.
+
+    ``routing`` is a registered strategy name (``auto`` / ``xy`` /
+    ``shortest`` / ``torus``) or a
+    :class:`~repro.network.routing.RoutingStrategy` instance.
+    """
 
     name: str = "aethereal"
-    topology: str = "mesh"          # mesh | ring | single
+    topology: str = "mesh"
     rows: int = 1
     cols: int = 2
     num_slots: int = 8
     be_buffer_flits: int = 8
-    routing: str = "auto"
+    routing: object = "auto"
+    topology_params: Dict[str, object] = field(default_factory=dict)
     nis: List[NISpec] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.topology not in ("mesh", "ring", "single"):
-            raise SpecError(f"unknown topology {self.topology!r}")
+        if self.topology not in TOPOLOGY_FACTORIES:
+            known = ", ".join(sorted(TOPOLOGY_FACTORIES))
+            raise SpecError(
+                f"unknown topology {self.topology!r} (registered: {known})")
+        if (isinstance(self.routing, str)
+                and self.routing not in ROUTING_STRATEGIES):
+            known = ", ".join(sorted(ROUTING_STRATEGIES))
+            raise SpecError(
+                f"unknown routing {self.routing!r} (registered: {known}; "
+                "or pass a RoutingStrategy instance)")
         names = [ni.name for ni in self.nis]
         if len(set(names)) != len(names):
             raise SpecError("duplicate NI names in the NoC spec")

@@ -21,6 +21,8 @@ import xml.etree.ElementTree as ET
 from typing import List, Union
 
 from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec, SpecError
+from repro.network.routing import RouteError
+from repro.network.topology import Topology
 
 
 def _router_to_str(router: object) -> str:
@@ -29,14 +31,110 @@ def _router_to_str(router: object) -> str:
     return str(router)
 
 
-def _router_from_str(text: str) -> Union[int, tuple]:
+def _atom_from_str(text: str) -> Union[int, str]:
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _router_from_str(text: str) -> Union[int, str, tuple]:
     if "," in text:
-        return tuple(int(x) for x in text.split(","))
-    return int(text)
+        return tuple(_atom_from_str(x) for x in text.split(","))
+    return _atom_from_str(text)
+
+
+def _scalar_from_str(text: str) -> Union[int, float, str]:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+#: Attribute-value types a custom-topology node attribute may carry in XML.
+#: ``NoneType`` covers factory-produced attrs like the tree root's
+#: ``parent=None``.
+_ATTR_TYPES = {"int": int, "float": float, "str": str,
+               "NoneType": lambda text: None}
+
+
+def _topology_params_to_xml(root: ET.Element, params: dict) -> None:
+    """Serialize ``NoCSpec.topology_params`` as a ``<topology>`` child.
+
+    Scalar parameters become attributes; the ``nodes`` / ``edges`` lists of
+    a custom topology become ``<node>`` / ``<edge>`` children, with node
+    attributes as typed ``<attr>`` grandchildren.
+    """
+    topo_el = ET.SubElement(root, "topology")
+    for key, value in sorted(params.items()):
+        if key in ("nodes", "edges"):
+            continue
+        topo_el.set(key, str(value))
+    for entry in params.get("nodes", ()):
+        node, attrs = Topology.split_node_entry(entry)
+        encoded = _router_to_str(node)
+        if _router_from_str(encoded) != node:
+            # A string id like "2" or "a,b" would come back retyped as an
+            # int/tuple; refuse rather than silently corrupt node identity.
+            raise SpecError(
+                f"custom node id {node!r} does not survive the XML "
+                f"encoding (reads back as {_router_from_str(encoded)!r}); "
+                "use ids that are ints, int tuples, or strings that do not "
+                "look like numbers and contain no commas")
+        node_el = ET.SubElement(topo_el, "node", {"id": encoded})
+        for key, value in sorted(attrs.items(), key=lambda kv: kv[0]):
+            kind = type(value).__name__
+            if kind not in _ATTR_TYPES:
+                raise SpecError(
+                    f"node {node!r}: attribute {key!r} has unserializable "
+                    f"type {kind!r} (use int, float, str or None)")
+            ET.SubElement(node_el, "attr",
+                          {"key": key, "value": str(value), "type": kind})
+    for a, b in params.get("edges", ()):
+        ET.SubElement(topo_el, "edge",
+                      {"a": _router_to_str(a), "b": _router_to_str(b)})
+
+
+def _topology_params_from_xml(topo_el: ET.Element) -> dict:
+    params: dict = {key: _scalar_from_str(value)
+                    for key, value in topo_el.attrib.items()}
+    nodes = []
+    for node_el in topo_el.findall("node"):
+        node = _router_from_str(node_el.get("id", "0"))
+        attrs = {}
+        for attr_el in node_el.findall("attr"):
+            convert = _ATTR_TYPES.get(attr_el.get("type", "str"), str)
+            attrs[attr_el.get("key", "")] = convert(attr_el.get("value", ""))
+        nodes.append((node, attrs) if attrs else node)
+    edges = [(_router_from_str(edge_el.get("a", "0")),
+              _router_from_str(edge_el.get("b", "0")))
+             for edge_el in topo_el.findall("edge")]
+    if nodes:
+        # An edge-free single-node custom topology is valid: keep the
+        # (possibly empty) edge list whenever nodes are present so the
+        # custom factory receives both arguments.
+        params["nodes"] = nodes
+        params["edges"] = edges
+    elif edges:
+        params["edges"] = edges
+    return params
 
 
 def to_xml(spec: NoCSpec) -> str:
     """Serialize a NoC spec to an XML string."""
+    if isinstance(spec.routing, str):
+        routing = spec.routing
+    else:
+        # A strategy instance must be losslessly nameable (TableRouting
+        # tables, explicit torus dimensions etc. cannot ride in a name).
+        try:
+            routing = spec.routing.spec_name()
+        except RouteError as exc:
+            raise SpecError(str(exc)) from None
     root = ET.Element("noc", {
         "name": spec.name,
         "topology": spec.topology,
@@ -44,8 +142,10 @@ def to_xml(spec: NoCSpec) -> str:
         "cols": str(spec.cols),
         "slots": str(spec.num_slots),
         "be_buffer_flits": str(spec.be_buffer_flits),
-        "routing": spec.routing,
+        "routing": routing,
     })
+    if spec.topology_params:
+        _topology_params_to_xml(root, spec.topology_params)
     for ni in spec.nis:
         ni_el = ET.SubElement(root, "ni", {
             "name": ni.name,
@@ -103,6 +203,8 @@ def from_xml(text: str) -> NoCSpec:
             be_arbiter=ni_el.get("arbiter", "round_robin"),
             max_packet_words=int(ni_el.get("max_packet_words", "23")),
             ports=ports))
+    topo_el = root.find("topology")
+    params = _topology_params_from_xml(topo_el) if topo_el is not None else {}
     return NoCSpec(
         name=root.get("name", "noc"),
         topology=root.get("topology", "mesh"),
@@ -111,4 +213,5 @@ def from_xml(text: str) -> NoCSpec:
         num_slots=int(root.get("slots", "8")),
         be_buffer_flits=int(root.get("be_buffer_flits", "8")),
         routing=root.get("routing", "auto"),
+        topology_params=params,
         nis=nis)

@@ -26,11 +26,34 @@ from repro.network.router import (
     Router,
     SlotConflictError,
 )
-from repro.network.routing import RouteError, compute_route, xy_route
+from repro.network.routing import (
+    ROUTING_STRATEGIES,
+    AutoRouting,
+    RouteError,
+    RoutingStrategy,
+    ShortestPath,
+    TableRouting,
+    TorusDimensionOrdered,
+    XYRouting,
+    compute_route,
+    make_routing,
+    register_routing,
+    routing_names,
+    xy_route,
+)
 from repro.network.slot_table import RouterSlotTable, SlotTable, SlotTableError
-from repro.network.topology import PortMap, Topology
+from repro.network.topology import (
+    TOPOLOGY_FACTORIES,
+    PortMap,
+    Topology,
+    TopologyError,
+    make_topology,
+    register_topology,
+    topology_names,
+)
 
 __all__ = [
+    "AutoRouting",
     "BufferOverflowError",
     "CYCLES_PER_FLIT",
     "FLIT_WORDS",
@@ -44,15 +67,29 @@ __all__ = [
     "Packet",
     "PacketHeader",
     "PortMap",
+    "ROUTING_STRATEGIES",
     "RouteError",
     "Router",
     "RouterSlotTable",
+    "RoutingStrategy",
+    "ShortestPath",
     "SlotConflictError",
     "SlotTable",
     "SlotTableError",
+    "TOPOLOGY_FACTORIES",
+    "TableRouting",
     "Topology",
+    "TopologyError",
+    "TorusDimensionOrdered",
     "WORD_BITS",
+    "XYRouting",
     "compute_route",
+    "make_routing",
+    "make_topology",
     "packet_to_flits",
+    "register_routing",
+    "register_topology",
+    "routing_names",
+    "topology_names",
     "xy_route",
 ]

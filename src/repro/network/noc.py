@@ -10,16 +10,15 @@ the per-link identifiers that the slot allocator reserves slots on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.network.link import Link
 from repro.network.packet import FLIT_WORDS, NETWORK_FREQUENCY_MHZ
 from repro.network.router import Router
 from repro.network.routing import (
-    compute_route,
+    RoutingStrategy,
+    make_routing,
     ports_from_router_sequence,
-    router_sequence_shortest,
-    router_sequence_xy,
 )
 from repro.network.slot_table import RouterSlotTable
 from repro.network.topology import PortMap, Topology, TopologyError, build_port_map
@@ -51,7 +50,7 @@ class NoC:
                  flit_clock: Clock, routers: Dict[Hashable, Router],
                  links: Dict[LinkId, Link],
                  attachments: Dict[str, Attachment],
-                 routing_algorithm: str = "auto",
+                 routing_algorithm: Union[str, RoutingStrategy] = "auto",
                  tracer: Tracer = NULL_TRACER) -> None:
         self.sim = sim
         self.topology = topology
@@ -60,7 +59,10 @@ class NoC:
         self.routers = routers
         self.links = links
         self.attachments = attachments
-        self.routing_algorithm = routing_algorithm
+        #: The default strategy; per-route overrides go through the
+        #: ``routing=`` parameter of :meth:`route` and friends.
+        self.routing = make_routing(routing_algorithm)
+        self.routing_algorithm = self.routing.name
         self.tracer = tracer
         self.stats = StatsRegistry()
 
@@ -83,44 +85,46 @@ class NoC:
         return len(self.links)
 
     # --------------------------------------------------------------- routing
-    def router_sequence(self, src_name: str, dst_name: str) -> List[Hashable]:
+    def _strategy(self, routing: Optional[Union[str, RoutingStrategy]]
+                  ) -> RoutingStrategy:
+        return self.routing if routing is None else make_routing(routing)
+
+    def router_sequence(self, src_name: str, dst_name: str,
+                        routing: Optional[Union[str, RoutingStrategy]] = None
+                        ) -> List[Hashable]:
         src = self.attachment(src_name)
         dst = self.attachment(dst_name)
-        if self.routing_algorithm == "xy":
-            return router_sequence_xy(self.topology, src.router_node,
-                                      dst.router_node)
-        if self.routing_algorithm == "shortest":
-            return router_sequence_shortest(self.topology, src.router_node,
-                                            dst.router_node)
-        try:
-            return router_sequence_xy(self.topology, src.router_node,
-                                      dst.router_node)
-        except Exception:
-            return router_sequence_shortest(self.topology, src.router_node,
-                                            dst.router_node)
+        return self._strategy(routing).router_sequence(
+            self.topology, src.router_node, dst.router_node)
 
-    def route(self, src_name: str, dst_name: str) -> Tuple[int, ...]:
-        """Source route (output port per router) from one NI to another."""
+    def route(self, src_name: str, dst_name: str,
+              routing: Optional[Union[str, RoutingStrategy]] = None
+              ) -> Tuple[int, ...]:
+        """Source route (output port per router) from one NI to another.
+
+        ``routing`` overrides the NoC default strategy for this route (the
+        per-connection ``connect(..., routing=...)`` knob resolves here).
+        """
         dst = self.attachment(dst_name)
-        sequence = self.router_sequence(src_name, dst_name)
+        sequence = self.router_sequence(src_name, dst_name, routing=routing)
         return ports_from_router_sequence(self.port_map, sequence,
                                           dst.local_port)
 
-    def route_link_ids(self, src_name: str, dst_name: str) -> List[LinkId]:
+    def route_link_ids(self, src_name: str, dst_name: str,
+                       routing: Optional[Union[str, RoutingStrategy]] = None
+                       ) -> List[LinkId]:
         """Every link (including NI-router links) a route traverses, in order."""
-        src = self.attachment(src_name)
-        dst = self.attachment(dst_name)
-        sequence = self.router_sequence(src_name, dst_name)
+        sequence = self.router_sequence(src_name, dst_name, routing=routing)
         ids: List[LinkId] = [(f"ni:{src_name}", f"router:{sequence[0]!r}")]
         for a, b in zip(sequence, sequence[1:]):
             ids.append((f"router:{a!r}", f"router:{b!r}"))
         ids.append((f"router:{sequence[-1]!r}", f"ni:{dst_name}"))
-        del src, dst
         return ids
 
-    def hop_count(self, src_name: str, dst_name: str) -> int:
+    def hop_count(self, src_name: str, dst_name: str,
+                  routing: Optional[Union[str, RoutingStrategy]] = None) -> int:
         """Number of routers traversed between two NIs."""
-        return len(self.router_sequence(src_name, dst_name))
+        return len(self.router_sequence(src_name, dst_name, routing=routing))
 
     # ------------------------------------------------------------ statistics
     def total_flits_forwarded(self) -> int:
@@ -140,7 +144,7 @@ class NoCBuilder:
                  be_buffer_flits: int = 8,
                  router_slot_tables: bool = False,
                  strict_gt: bool = True,
-                 routing_algorithm: str = "auto",
+                 routing_algorithm: Union[str, RoutingStrategy] = "auto",
                  flit_frequency_mhz: Optional[float] = None,
                  tracer: Tracer = NULL_TRACER) -> None:
         self.topology = topology

@@ -1,0 +1,277 @@
+"""SystemBuilder's pluggable topology front door: torus / tree / double-ring
+/ custom declarations, routing knobs, validation, and spec round-trips."""
+
+import pytest
+
+from repro.api.builder import BuilderError, SystemBuilder
+from repro.api import scenarios
+from repro.design.generator import build_system
+from repro.design.xml_io import from_xml, to_xml
+from repro.ip.traffic import ConstantBitRateTraffic
+from repro.network.routing import TableRouting, TorusDimensionOrdered
+from repro.network.topology import Topology
+
+
+def _cbr(period=8, words=2):
+    return ConstantBitRateTraffic(period_cycles=period, burst_words=words,
+                                  write=True)
+
+
+def _pair_system(builder, src_router, dst_router, **connect_kwargs):
+    return (builder
+            .add_master("m", router=src_router, pattern=_cbr(),
+                        max_transactions=4)
+            .add_memory("mem", router=dst_router)
+            .connect("m", "mem", **connect_kwargs)
+            .build())
+
+
+class TestTorusBuilder:
+    def test_builds_and_runs(self):
+        system = _pair_system(SystemBuilder("t").torus(3, 3),
+                              (0, 0), (0, 2))
+        # Dimension-ordered torus routing reaches (0,2) over the wrap link.
+        assert len(system.noc.route("m", "mem")) == 2
+        system.run_until_idle(max_flit_cycles=20000)
+        assert system.master("m").done()
+
+    def test_default_routing_is_torus(self):
+        system = _pair_system(SystemBuilder("t").torus(3, 3),
+                              (0, 0), (0, 2))
+        assert system.spec.routing == "torus"
+        assert system.noc.routing_algorithm == "torus"
+
+    def test_routing_override_per_connection(self):
+        system = _pair_system(SystemBuilder("t").torus(3, 3),
+                              (0, 0), (0, 2), routing="shortest")
+        # The connection's channels were programmed with shortest-path
+        # routes; both strategies reach the target here, but the spec
+        # records the override.
+        assert system.connection("m->mem").spec.routing.name == "shortest"
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(BuilderError, match="registered"):
+            SystemBuilder("t").torus(2, 2, routing="magic") \
+                .add_master("m", router=(0, 0)) \
+                .add_memory("mem", router=(1, 1)) \
+                .connect("m", "mem").build()
+
+    def test_unknown_connect_routing_rejected(self):
+        with pytest.raises(BuilderError, match="registered"):
+            SystemBuilder("t").mesh(1, 2).connect("a", "b", routing="magic")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(BuilderError, match="torus"):
+            SystemBuilder("t").torus(0, 3).build()
+
+
+class TestTreeBuilder:
+    def test_builds_and_runs(self):
+        system = _pair_system(SystemBuilder("t").tree(2, 2), 3, 0)
+        assert system.noc.topology.num_routers == 7
+        system.run_until_idle(max_flit_cycles=20000)
+        assert system.master("m").done()
+
+    def test_routers_carry_level_attributes(self):
+        system = _pair_system(SystemBuilder("t").tree(2, 2), 3, 0)
+        assert system.noc.topology.node_attrs(3)["level"] == 2
+
+
+class TestDoubleRingBuilder:
+    def test_builds_and_runs(self):
+        system = _pair_system(SystemBuilder("d").double_ring(3),
+                              ("in", 0), ("out", 1))
+        assert system.noc.topology.num_routers == 6
+        system.run_until_idle(max_flit_cycles=20000)
+        assert system.master("m").done()
+
+
+class TestCustomTopologyBuilder:
+    def _floorplan(self):
+        return Topology.custom(
+            ["cpu", "dsp", "mem_ctrl"],
+            [("cpu", "dsp"), ("dsp", "mem_ctrl"), ("cpu", "mem_ctrl")],
+            name="mini_soc")
+
+    def test_builds_and_runs(self):
+        system = _pair_system(
+            SystemBuilder("c").custom_topology(self._floorplan()),
+            "cpu", "mem_ctrl")
+        # cpu's port 1 leads to mem_ctrl (neighbours sorted by repr), whose
+        # local NI port sits after its two neighbour ports.
+        assert system.noc.route("m", "mem") == (1, 2)
+        system.run_until_idle(max_flit_cycles=20000)
+        assert system.master("m").done()
+
+    def test_non_topology_rejected(self):
+        with pytest.raises(BuilderError, match="Topology"):
+            SystemBuilder("c").custom_topology("not a graph")
+
+    def test_disconnected_rejected(self):
+        lonely = Topology.custom(["a", "b", "c"], [("a", "b")])
+        with pytest.raises(BuilderError, match="not connected"):
+            SystemBuilder("c").custom_topology(lonely) \
+                .add_master("m", router="a").build()
+
+    def test_unknown_router_message_names_topology(self):
+        with pytest.raises(BuilderError, match="mini_soc"):
+            SystemBuilder("c").custom_topology(self._floorplan()) \
+                .add_master("m", router="gpu").build()
+
+    def test_graph_extended_after_declaration_stays_in_sync(self):
+        topo = self._floorplan()
+        builder = SystemBuilder("c").custom_topology(topo)
+        topo.add_router("gpu")
+        topo.connect("gpu", "cpu")
+        system = _pair_system(builder, "gpu", "mem_ctrl")
+        assert system.noc.topology.num_routers == 4
+        rebuilt = build_system(from_xml(to_xml(system.spec)))
+        assert set(rebuilt.noc.topology.graph.nodes) == \
+            {"cpu", "dsp", "mem_ctrl", "gpu"}
+
+    def test_spec_round_trips_through_xml(self):
+        system = _pair_system(
+            SystemBuilder("c").custom_topology(self._floorplan()),
+            "cpu", "mem_ctrl")
+        spec = from_xml(to_xml(system.spec))
+        assert spec.topology == "custom"
+        rebuilt = build_system(spec)
+        assert set(rebuilt.noc.topology.graph.nodes) == \
+            {"cpu", "dsp", "mem_ctrl"}
+        assert rebuilt.noc.route("m", "mem") == \
+            system.noc.route("m", "mem")
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize("declare,expect_routers", [
+        (lambda b: b.torus(2, 3), 6),
+        (lambda b: b.tree(2, 2), 7),
+        (lambda b: b.double_ring(3), 6),
+        (lambda b: b.ring(4), 4),
+    ])
+    def test_topology_params_survive_xml(self, declare, expect_routers):
+        builder = declare(SystemBuilder("rt"))
+        builder.add_master("m", pattern=_cbr(), max_transactions=1)
+        system = builder.build()
+        spec = from_xml(to_xml(system.spec))
+        assert spec.topology_params == system.spec.topology_params
+        rebuilt = build_system(spec)
+        assert rebuilt.noc.topology.num_routers == expect_routers
+
+    def test_routing_strategy_serializes_as_name(self):
+        system = (SystemBuilder("rt")
+                  .torus(2, 3, routing=TorusDimensionOrdered())
+                  .add_master("m", pattern=_cbr(), max_transactions=1)
+                  .build())
+        spec = from_xml(to_xml(system.spec))
+        assert spec.routing == "torus"
+
+    def test_explicit_routing_survives_topology_declaration_order(self):
+        """routing() is order-independent with the topology methods: a
+        later topology default must not clobber an explicit choice."""
+        before = (SystemBuilder("a").routing("xy").mesh(2, 2)
+                  .add_master("m", pattern=_cbr(), max_transactions=1)
+                  .build())
+        assert before.noc.routing_algorithm == "xy"
+        torus = (SystemBuilder("b").routing("shortest").torus(3, 3)
+                 .add_master("m", pattern=_cbr(), max_transactions=1)
+                 .build())
+        assert torus.noc.routing_algorithm == "shortest"
+        # Without an explicit choice the torus default still applies.
+        plain = (SystemBuilder("c").torus(3, 3)
+                 .add_master("m", pattern=_cbr(), max_transactions=1)
+                 .build())
+        assert plain.noc.routing_algorithm == "torus"
+
+    def test_typoed_routing_fails_at_spec_construction(self):
+        from repro.design.spec import NoCSpec, SpecError
+        with pytest.raises(SpecError, match="routing"):
+            NoCSpec(routing="shortestt")
+
+    def test_ambiguous_custom_node_id_refused_at_serialization(self):
+        from repro.design.spec import SpecError
+        tricky = Topology.custom(["ok", "2"], [("ok", "2")])
+        system = _pair_system(SystemBuilder("tk").custom_topology(tricky),
+                              "ok", "2")
+        with pytest.raises(SpecError, match="does not survive"):
+            to_xml(system.spec)
+
+    def test_unserializable_routing_rejected_not_dropped(self):
+        """A TableRouting (or a torus strategy with explicit dimensions)
+        cannot ride in a name: to_xml must refuse, not silently degrade."""
+        from repro.design.spec import SpecError
+        table = TableRouting({(0, 1): [0, 1]})
+        system = (SystemBuilder("rt").ring(3, routing=table)
+                  .add_master("m", pattern=_cbr(), max_transactions=1)
+                  .build())
+        with pytest.raises(SpecError, match="TableRouting"):
+            to_xml(system.spec)
+        system.spec.routing = TorusDimensionOrdered(rows=2, cols=2)
+        with pytest.raises(SpecError, match="dimensions"):
+            to_xml(system.spec)
+
+    def test_factory_tree_wrapped_as_custom_serializes(self):
+        """The tree factory's parent=None root attribute must survive the
+        XML attr encoding."""
+        system = _pair_system(
+            SystemBuilder("tc").custom_topology(Topology.tree(2, 1)), 1, 0)
+        rebuilt = build_system(from_xml(to_xml(system.spec)))
+        assert rebuilt.noc.topology.node_attrs(0)["parent"] is None
+        assert rebuilt.noc.topology.node_attrs(1)["parent"] == 0
+
+    def test_deadlock_report_blames_override_strategy(self):
+        system = _pair_system(SystemBuilder("t").torus(3, 3),
+                              (0, 0), (0, 2), routing="shortest")
+        assert system.deadlock_report.strategy == "shortest"
+
+    def test_single_node_custom_topology_round_trips(self):
+        lone = Topology.custom(["hub"], name="lone")
+        system = (SystemBuilder("lone").custom_topology(lone)
+                  .add_master("m", router="hub", pattern=_cbr(),
+                              max_transactions=1)
+                  .build())
+        rebuilt = build_system(from_xml(to_xml(system.spec)))
+        assert set(rebuilt.noc.topology.graph.nodes) == {"hub"}
+
+    def test_mixed_node_id_types_supported(self):
+        mixed = Topology.custom([0, 1, "io"],
+                                [(0, 1), (1, "io"), (0, "io")])
+        system = _pair_system(SystemBuilder("mx").custom_topology(mixed),
+                              0, "io")
+        system.run_until_idle(max_flit_cycles=20000)
+        assert system.master("m").done()
+        rebuilt = build_system(from_xml(to_xml(system.spec)))
+        assert set(rebuilt.noc.topology.graph.nodes) == {0, 1, "io"}
+
+
+class TestNewScenarios:
+    @pytest.mark.parametrize("name", ["torus_neighbor", "tree_hotspot",
+                                      "irregular_soc"])
+    def test_runs_to_completion(self, name):
+        system = scenarios.build(name)
+        assert system.deadlock_report is not None
+        assert system.deadlock_report.ok
+        system.run_until_idle(max_flit_cycles=60000)
+        assert all(handle.done() for handle in system.masters.values())
+        moved = sum(handle.memory.writes
+                    for handle in system.memories.values())
+        assert moved > 0
+
+    def test_irregular_soc_shape(self):
+        system = scenarios.build("irregular_soc")
+        topo = system.noc.topology
+        assert topo.num_routers == 10
+        assert topo.node_attrs("dsp_a")["block"] == "dsp"
+        assert system.spec.topology == "custom"
+
+    def test_saturated_torus_builds(self):
+        system = scenarios.build("saturated_torus")
+        assert system.noc.topology.graph.graph["torus_cols"] == 4
+        system.run_flit_cycles(200)
+        assert system.noc.total_flits_forwarded() > 0
+
+    def test_torus_neighbor_wrap_column_single_hop(self):
+        system = scenarios.build("torus_neighbor")
+        # The last column's master reaches its wraparound neighbour (column
+        # 0) in a single hop thanks to the torus links.
+        assert len(system.noc.route("m0_2", "mem0_2")) == 2

@@ -1,0 +1,191 @@
+"""Channel-dependency-graph deadlock analysis (repro.analysis.deadlock)."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.deadlock import (
+    DeadlockError,
+    DeadlockWarning,
+    analyze_noc_routes,
+    analyze_sequences,
+    analyze_strategy,
+    assert_deadlock_free,
+    channel_dependency_graph,
+    find_cycle,
+)
+from repro.api.builder import BuilderError, SystemBuilder
+from repro.ip.traffic import ConstantBitRateTraffic
+from repro.network.routing import TableRouting, TorusDimensionOrdered
+from repro.network.topology import Topology
+
+
+def _cbr():
+    return ConstantBitRateTraffic(period_cycles=8, burst_words=2, write=True)
+
+
+class TestDependencyGraph:
+    def test_graph_nodes_and_edges(self):
+        graph = channel_dependency_graph([
+            ("r1", [("a", "b"), ("b", "c")]),
+            ("r2", [("b", "c"), ("c", "d")]),
+        ])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.edges[("a", "b"), ("b", "c")]["routes"] == ["r1"]
+
+    def test_shared_dependency_records_both_routes(self):
+        graph = channel_dependency_graph([
+            ("r1", [("a", "b"), ("b", "c")]),
+            ("r2", [("a", "b"), ("b", "c")]),
+        ])
+        assert graph.edges[("a", "b"), ("b", "c")]["routes"] == ["r1", "r2"]
+
+    def test_find_cycle(self):
+        graph = channel_dependency_graph([
+            ("r1", [("a", "b"), ("b", "c")]),
+            ("r2", [("b", "c"), ("c", "a")]),
+            ("r3", [("c", "a"), ("a", "b")]),
+        ])
+        cycle = find_cycle(graph)
+        assert cycle is not None and len(cycle) == 3
+
+    def test_single_hop_routes_never_cycle(self):
+        report = analyze_sequences([("r", [0, 1]), ("s", [1, 0])])
+        assert report.ok and report.num_dependencies == 0
+
+
+class TestStrategyAnalysis:
+    def test_mesh_xy_all_pairs_deadlock_free(self):
+        report = analyze_strategy(Topology.mesh(3, 3), "xy")
+        assert report.ok
+        assert report.num_routes == 72
+        assert report.cycle_routes() == []
+
+    def test_ring_shortest_all_pairs_deadlocks(self):
+        report = analyze_strategy(Topology.ring(5), "shortest")
+        assert not report.ok
+        assert report.cycle_routes()
+        assert "cycle" in report.describe()
+
+    def test_torus_shortest_all_pairs_deadlocks(self):
+        report = analyze_strategy(Topology.torus(4, 4), "shortest")
+        assert not report.ok
+
+    @pytest.mark.parametrize("rows,cols", [(3, 3), (4, 4), (5, 5), (2, 5)])
+    def test_torus_dimension_ordered_deadlock_free(self, rows, cols):
+        report = analyze_strategy(Topology.torus(rows, cols), "torus")
+        assert report.ok, report.describe()
+
+    def test_tree_shortest_deadlock_free(self):
+        report = analyze_strategy(Topology.tree(2, 3), "shortest")
+        assert report.ok
+
+    def test_table_routing_cycle_detected(self):
+        ring = Topology.ring(3)
+        table = TableRouting({
+            (0, 2): [0, 1, 2], (1, 0): [1, 2, 0], (2, 1): [2, 0, 1]})
+        report = analyze_strategy(ring, table,
+                                  pairs=[(0, 2), (1, 0), (2, 1)])
+        assert not report.ok
+
+    def test_table_routing_acyclic_paths_pass(self):
+        ring = Topology.ring(4)
+        table = TableRouting({
+            (0, 2): [0, 1, 2], (1, 3): [1, 0, 3]})
+        report = analyze_strategy(ring, table, pairs=[(0, 2), (1, 3)])
+        assert report.ok
+
+    def test_assert_deadlock_free(self):
+        good = analyze_strategy(Topology.mesh(2, 2), "xy")
+        assert assert_deadlock_free(good) is good
+        bad = analyze_strategy(Topology.ring(5), "shortest")
+        with pytest.raises(DeadlockError, match="cycle"):
+            assert_deadlock_free(bad)
+
+
+def _cyclic_ring_builder(check="warn"):
+    """Five BE pairs on a 5-ring, each two hops ahead: the request routes
+    chase each other around the ring, so the CDG has a cycle."""
+    builder = (SystemBuilder("cyclic_ring")
+               .ring(5)
+               .options(deadlock_check=check))
+    for i in range(5):
+        builder.add_master(f"m{i}", router=i, pattern=_cbr(),
+                           max_transactions=2)
+        builder.add_memory(f"x{i}", router=(i + 2) % 5)
+        builder.connect(f"m{i}", f"x{i}")
+    return builder
+
+
+class TestBuilderIntegration:
+    def test_cyclic_be_routes_warn_by_default(self):
+        with pytest.warns(DeadlockWarning, match="cycle"):
+            system = _cyclic_ring_builder().build()
+        assert system.deadlock_report is not None
+        assert not system.deadlock_report.ok
+
+    def test_error_mode_raises_builder_error(self):
+        with pytest.raises(BuilderError, match="deadlock|cycle"):
+            _cyclic_ring_builder(check="error").build()
+
+    def test_off_mode_skips_analysis(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeadlockWarning)
+            system = _cyclic_ring_builder(check="off").build()
+        assert system.deadlock_report is None
+
+    def test_gt_connections_are_exempt(self):
+        """The same cyclic routes as GT connections pass: TDMA never blocks."""
+        builder = (SystemBuilder("gt_ring")
+                   .ring(5)
+                   .options(deadlock_check="error"))
+        for i in range(5):
+            builder.add_master(f"m{i}", router=i, pattern=_cbr(),
+                               max_transactions=2)
+            builder.add_memory(f"x{i}", router=(i + 2) % 5)
+            builder.connect(f"m{i}", f"x{i}", gt=True, slots=1)
+        system = builder.build()
+        assert system.deadlock_report.ok
+        assert system.deadlock_report.num_routes == 0
+
+    def test_table_routing_override_fixes_cycle(self):
+        """Per-connection TableRouting can break the cycle the default
+        shortest-path routes create."""
+        builder = (SystemBuilder("fixed_ring")
+                   .ring(5)
+                   .options(deadlock_check="error"))
+        for i in range(5):
+            builder.add_master(f"m{i}", router=i, pattern=_cbr(),
+                               max_transactions=2)
+            builder.add_memory(f"x{i}", router=(i + 2) % 5)
+            # Route every pair through the "line" 0..4 (never crossing the
+            # 4-0 wraparound link): monotone segments cannot cycle.
+            hi = (i + 2) % 5
+            if i + 2 <= 4:
+                fwd = list(range(i, i + 3))
+            else:  # wrap pairs go backwards along the line instead
+                fwd = list(range(i, hi - 1, -1))
+            back = list(reversed(fwd))
+            table = TableRouting({(fwd[0], fwd[-1]): fwd,
+                                  (back[0], back[-1]): back})
+            builder.connect(f"m{i}", f"x{i}", routing=table)
+        system = builder.build()
+        assert system.deadlock_report.ok
+        assert system.run_until_idle(max_flit_cycles=20000) > 0
+        assert all(handle.done() for handle in system.masters.values())
+
+    def test_invalid_deadlock_check_mode_rejected(self):
+        with pytest.raises(BuilderError, match="deadlock_check"):
+            SystemBuilder("bad").options(deadlock_check="maybe")
+
+    def test_report_on_noc_routes_names_connections(self):
+        with pytest.warns(DeadlockWarning):
+            system = _cyclic_ring_builder().build()
+        report = system.deadlock_report
+        assert any(name.endswith(":request") or name.endswith(":response")
+                   for name in report.cycle_routes())
+        # The builder report uses the NoC link-id convention.
+        rebuilt = analyze_noc_routes(
+            system.noc, [("m0", "m0", "x0", None)])
+        assert rebuilt.num_channels >= 3

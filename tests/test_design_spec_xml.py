@@ -42,7 +42,12 @@ class TestSpecValidation:
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(SpecError):
-            NoCSpec(topology="torus")
+            NoCSpec(topology="moebius")
+
+    def test_registered_topologies_accepted(self):
+        # "torus" (and friends) are valid kinds since the factory registry.
+        for kind in ("torus", "tree", "double_ring", "custom"):
+            assert NoCSpec(topology=kind).topology == kind
 
     def test_lookup_helpers(self):
         spec = reference_noc_spec()

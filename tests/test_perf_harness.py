@@ -14,7 +14,7 @@ import pytest
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 _RUN_PERF = os.path.join(_REPO_ROOT, "benchmarks", "perf", "run_perf.py")
 _SCENARIOS = ("idle_mesh", "saturated_mix", "saturated_grid",
-              "saturated_dram", "bus_vs_noc")
+              "saturated_torus", "saturated_dram", "bus_vs_noc")
 
 
 def _invoke(args, output):

@@ -1,0 +1,96 @@
+"""Property test: every computed route is physically valid.
+
+For random connected custom topologies and every registered strategy that
+applies, a source route must (1) traverse only links that exist, (2) agree
+with ``PortMap.port_toward`` at every intermediate hop, and (3) end on the
+destination NI's local port.  This is the contract the NI kernels and
+routers rely on: a single bad port index would misdeliver a packet.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.routing import (
+    ShortestPath,
+    TableRouting,
+    TorusDimensionOrdered,
+    XYRouting,
+)
+from repro.network.topology import Topology, build_port_map
+
+
+@st.composite
+def connected_topologies(draw):
+    """A random connected custom topology of 2..8 routers.
+
+    A random spanning tree guarantees connectivity; extra random edges add
+    cycles and irregularity.
+    """
+    num_nodes = draw(st.integers(min_value=2, max_value=8))
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    edges = set()
+    for i in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        edges.add((nodes[parent], nodes[i]))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, num_nodes - 1),
+                  st.integers(0, num_nodes - 1)),
+        max_size=6))
+    for a, b in extra:
+        if a != b:
+            edges.add((nodes[min(a, b)], nodes[max(a, b)]))
+    return Topology.custom(nodes, sorted(edges))
+
+
+def _assert_route_valid(topology, port_map, strategy, src, dst,
+                        final_local_port):
+    sequence = strategy.router_sequence(topology, src, dst)
+    route = strategy.route(topology, port_map, src, dst, final_local_port)
+    assert sequence[0] == src and sequence[-1] == dst
+    assert len(route) == len(sequence)
+    for here, nxt, port in zip(sequence, sequence[1:], route):
+        # The hop uses an existing link and the port the map assigns to it.
+        assert topology.graph.has_edge(here, nxt)
+        assert port == port_map.port_toward(here, nxt)
+    assert route[-1] == final_local_port
+    assert final_local_port in port_map.local_ports[dst]
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology=connected_topologies(), data=st.data())
+def test_shortest_path_routes_are_valid(topology, data):
+    port_map = build_port_map(topology)
+    routers = topology.routers
+    src = data.draw(st.sampled_from(routers))
+    dst = data.draw(st.sampled_from(routers))
+    _assert_route_valid(topology, port_map, ShortestPath(), src, dst,
+                        port_map.local_port(dst, 0))
+
+
+@settings(max_examples=60, deadline=None)
+@given(topology=connected_topologies(), data=st.data())
+def test_table_routes_are_valid(topology, data):
+    """A table built from any existing paths yields valid port routes."""
+    port_map = build_port_map(topology)
+    routers = topology.routers
+    src = data.draw(st.sampled_from(routers))
+    dst = data.draw(st.sampled_from(routers))
+    sequence = topology.shortest_path(src, dst)
+    strategy = TableRouting({(src, dst): sequence})
+    _assert_route_valid(topology, port_map, strategy, src, dst,
+                        port_map.local_port(dst, 0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.integers(1, 5), cols=st.integers(1, 5), data=st.data())
+def test_mesh_and_torus_routes_are_valid(rows, cols, data):
+    mesh = Topology.mesh(rows, cols)
+    torus = Topology.torus(rows, cols)
+    mesh_map = build_port_map(mesh)
+    torus_map = build_port_map(torus)
+    src = data.draw(st.sampled_from(mesh.routers))
+    dst = data.draw(st.sampled_from(mesh.routers))
+    _assert_route_valid(mesh, mesh_map, XYRouting(), src, dst,
+                        mesh_map.local_port(dst, 0))
+    _assert_route_valid(torus, torus_map, TorusDimensionOrdered(), src, dst,
+                        torus_map.local_port(dst, 0))

@@ -1,0 +1,255 @@
+"""The topology factory registry and the new torus/tree/double-ring/custom
+shapes, plus the routing-strategy registry."""
+
+import pytest
+
+from repro.network.routing import (
+    RouteError,
+    RoutingStrategy,
+    ShortestPath,
+    TableRouting,
+    TorusDimensionOrdered,
+    make_routing,
+    register_routing,
+    routing_names,
+)
+from repro.network.topology import (
+    TOPOLOGY_FACTORIES,
+    Topology,
+    TopologyError,
+    build_port_map,
+    make_topology,
+    register_topology,
+    topology_names,
+)
+
+
+class TestTorus:
+    def test_all_routers_degree_four(self):
+        topo = Topology.torus(3, 3)
+        assert topo.num_routers == 9
+        assert all(topo.degree(node) == 4 for node in topo.routers)
+
+    def test_wraparound_links_exist(self):
+        topo = Topology.torus(4, 4)
+        assert topo.graph.has_edge((0, 0), (3, 0))
+        assert topo.graph.has_edge((2, 0), (2, 3))
+
+    def test_size_two_dimension_has_no_duplicate_links(self):
+        # A 2-wide dimension's wrap link coincides with the mesh link.
+        topo = Topology.torus(2, 4)
+        assert all(topo.degree(node) == 3 for node in topo.routers)
+
+    def test_size_one_dimension(self):
+        topo = Topology.torus(1, 4)
+        assert topo.num_routers == 4
+        assert all(topo.degree(node) == 2 for node in topo.routers)
+
+    def test_records_dimensions_for_routing(self):
+        topo = Topology.torus(3, 5)
+        assert topo.graph.graph["torus_rows"] == 3
+        assert topo.graph.graph["torus_cols"] == 5
+
+
+class TestTree:
+    def test_node_count_and_levels(self):
+        topo = Topology.tree(2, 2)
+        assert topo.num_routers == 7
+        assert topo.node_attrs(0) == {"level": 0, "parent": None}
+        assert topo.node_attrs(6) == {"level": 2, "parent": 2}
+
+    def test_depth_zero_is_single_root(self):
+        assert Topology.tree(3, 0).num_routers == 1
+
+    def test_is_acyclic_and_connected(self):
+        topo = Topology.tree(3, 2)
+        assert topo.is_connected()
+        assert topo.graph.number_of_edges() == topo.num_routers - 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            Topology.tree(0, 2)
+        with pytest.raises(TopologyError):
+            Topology.tree(2, -1)
+
+
+class TestDoubleRing:
+    def test_degree_three_everywhere(self):
+        topo = Topology.double_ring(4)
+        assert topo.num_routers == 8
+        assert all(topo.degree(node) == 3 for node in topo.routers)
+
+    def test_node_attributes(self):
+        topo = Topology.double_ring(3)
+        assert topo.node_attrs(("in", 1)) == {"ring": "inner", "index": 1}
+        assert topo.node_attrs(("out", 2))["ring"] == "outer"
+
+    def test_small_sizes(self):
+        assert Topology.double_ring(1).num_routers == 2
+        two = Topology.double_ring(2)
+        assert two.num_routers == 4 and two.is_connected()
+
+
+class TestCustom:
+    def test_nodes_with_attributes(self):
+        topo = Topology.custom(
+            [("cpu", {"block": "host"}), "mem"], [("cpu", "mem")])
+        assert topo.node_attrs("cpu") == {"block": "host"}
+        assert topo.node_attrs("mem") == {}
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(TopologyError, match="undeclared"):
+            Topology.custom(["a"], [("a", "b")])
+
+    def test_node_edge_lists_round_trip(self):
+        topo = Topology.custom(
+            [("a", {"k": 1}), "b", "c"], [("a", "b"), ("b", "c")])
+        nodes, edges = topo.node_edge_lists()
+        rebuilt = Topology.custom(nodes, edges)
+        assert set(rebuilt.graph.nodes) == set(topo.graph.nodes)
+        assert set(map(frozenset, rebuilt.graph.edges)) == \
+            set(map(frozenset, topo.graph.edges))
+        assert rebuilt.node_attrs("a") == {"k": 1}
+
+
+class TestRegistry:
+    def test_builtin_factories_registered(self):
+        for kind in ("mesh", "ring", "torus", "double_ring", "tree",
+                     "single_router", "single", "custom"):
+            assert kind in TOPOLOGY_FACTORIES
+
+    def test_make_topology(self):
+        topo = make_topology("torus", rows=2, cols=3)
+        assert topo.num_routers == 6
+
+    def test_unknown_kind_lists_registered(self):
+        with pytest.raises(TopologyError, match="registered:"):
+            make_topology("hypercube")
+
+    def test_bad_params_reported(self):
+        with pytest.raises(TopologyError, match="mesh"):
+            make_topology("mesh", rows=2)  # missing cols
+
+    def test_register_custom_factory(self):
+        @register_topology("_test_star")
+        def _star(leaves: int) -> Topology:
+            topo = Topology(name="star")
+            topo.add_router("hub")
+            for i in range(leaves):
+                topo.add_router(i)
+                topo.connect("hub", i)
+            return topo
+
+        try:
+            topo = make_topology("_test_star", leaves=3)
+            assert topo.degree("hub") == 3
+            assert "_test_star" in topology_names()
+        finally:
+            del TOPOLOGY_FACTORIES["_test_star"]
+
+
+class TestRoutersCaching:
+    def test_cache_invalidated_on_mutation(self):
+        topo = Topology()
+        topo.add_router("b")
+        assert topo.routers == ["b"]  # prime the cache
+        topo.add_router("a")
+        assert topo.routers == ["a", "b"]
+        topo.connect("a", "b")
+        assert topo.routers == ["a", "b"]
+
+    def test_returned_list_is_a_copy(self):
+        topo = Topology.mesh(1, 2)
+        first = topo.routers
+        first.append("junk")
+        assert topo.routers == [(0, 0), (0, 1)]
+
+    def test_degree_checks_membership(self):
+        with pytest.raises(TopologyError):
+            Topology.mesh(1, 2).degree((9, 9))
+
+
+class TestTorusRouting:
+    def setup_method(self):
+        self.topo = Topology.torus(4, 4)
+        self.strategy = TorusDimensionOrdered()
+
+    def test_neighbor_wrap_single_hop(self):
+        assert self.strategy.router_sequence(self.topo, (0, 0), (0, 3)) == \
+            [(0, 0), (0, 3)]
+        assert self.strategy.router_sequence(self.topo, (3, 2), (0, 2)) == \
+            [(3, 2), (0, 2)]
+
+    def test_x_before_y(self):
+        sequence = self.strategy.router_sequence(self.topo, (0, 0), (2, 2))
+        assert sequence == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_multi_hop_stays_on_line(self):
+        # 5-wide dimension, offset 3: the wrap way is 2 hops but multi-hop
+        # wraps are forbidden (deadlock safety), so the line is used.
+        topo5 = Topology.torus(1, 5)
+        sequence = self.strategy.router_sequence(topo5, (0, 0), (0, 3))
+        assert sequence == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_minimal_for_size_four(self):
+        for src in self.topo.routers:
+            for dst in self.topo.routers:
+                hops = len(self.strategy.router_sequence(
+                    self.topo, src, dst)) - 1
+                shortest = len(self.topo.shortest_path(src, dst)) - 1
+                assert hops == shortest, (src, dst)
+
+    def test_requires_dimensions(self):
+        mesh = Topology.mesh(2, 2)
+        with pytest.raises(RouteError, match="dimensions"):
+            self.strategy.router_sequence(mesh, (0, 0), (1, 1))
+        explicit = TorusDimensionOrdered(rows=2, cols=2)
+        assert explicit.router_sequence(mesh, (0, 0), (1, 1)) == \
+            [(0, 0), (0, 1), (1, 1)]
+
+
+class TestTableRouting:
+    def test_route_lookup_and_validation(self):
+        ring = Topology.ring(4)
+        table = TableRouting({(0, 2): [0, 1, 2]})
+        assert table.router_sequence(ring, 0, 2) == [0, 1, 2]
+        with pytest.raises(RouteError, match="no entry"):
+            table.router_sequence(ring, 2, 0)
+
+    def test_bad_table_entries_rejected(self):
+        with pytest.raises(RouteError, match="start at the source"):
+            TableRouting({(0, 2): [1, 2]})
+
+    def test_missing_link_rejected_at_use(self):
+        ring = Topology.ring(4)
+        table = TableRouting({(0, 2): [0, 2]})
+        with pytest.raises(RouteError, match="missing link"):
+            table.router_sequence(ring, 0, 2)
+
+
+class TestRoutingRegistry:
+    def test_names(self):
+        assert {"auto", "xy", "shortest", "torus"} <= set(routing_names())
+
+    def test_make_routing_passthrough(self):
+        strategy = ShortestPath()
+        assert make_routing(strategy) is strategy
+        assert make_routing("shortest").name == "shortest"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RouteError, match="registered:"):
+            make_routing("magic")
+
+    def test_register_custom_strategy(self):
+        class Flood(RoutingStrategy):
+            name = "_test_flood"
+
+            def router_sequence(self, topology, src, dst):
+                return topology.shortest_path(src, dst)
+
+        register_routing("_test_flood", Flood)
+        try:
+            assert isinstance(make_routing("_test_flood"), Flood)
+        finally:
+            from repro.network.routing import ROUTING_STRATEGIES
+            del ROUTING_STRATEGIES["_test_flood"]
