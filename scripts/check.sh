@@ -23,6 +23,23 @@ for example in examples/*.py; do
   python "$example" > /dev/null
 done
 
+echo "== fault scenarios smoke =="
+python - <<'EOF'
+from repro.api import scenarios
+
+for name in ("link_failure_reroute", "transient_storm", "gt_degraded"):
+    system = scenarios.build(name)
+    cycles = system.run_until_idle(max_flit_cycles=400000)
+    assert cycles < 400000, f"{name} never went idle"
+    for label, handle in system.masters.items():
+        bad = [t for t in handle.completed
+               if t.response is None or not t.response.ok]
+        assert not bad, f"{name}: {label} has {len(bad)} failed transactions"
+    report = system.health_report()
+    print(f"  {name}: idle@{cycles}, drops={report.packets_dropped}, "
+          f"retries={report.retries}, degraded={len(report.degraded)}")
+EOF
+
 quick_json="$(mktemp /tmp/bench_quick.XXXXXX.json)"
 trap 'rm -f "$quick_json"' EXIT
 
@@ -59,9 +76,12 @@ echo "== BENCH_PERF.json staleness =="
 # src/repro/network covers topology factories and routing strategies (route
 # computation happens inside the timed build of every perf scenario);
 # src/repro/analysis is included because the builder's deadlock check runs
-# the channel-dependency analysis on that same timed path.
+# the channel-dependency analysis on that same timed path; src/repro/faults
+# because its hooks sit on the link/kernel/shell hot paths even when no
+# fault is declared.
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
               src/repro/design src/repro/ip src/repro/mem src/repro/analysis
+              src/repro/faults
               src/repro/testbench.py benchmarks/perf/run_perf.py)
 if git rev-parse --git-dir >/dev/null 2>&1; then
   stale=""

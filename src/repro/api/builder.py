@@ -60,6 +60,7 @@ from repro.core.shells.point_to_point import PointToPointShell
 from repro.core.shells.slave import SlaveShell
 from repro.design.generator import SystemModel, build_system
 from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
+from repro.faults import FaultInjector, FaultManager, FaultPlan, HealthReport
 from repro.ip.master import TrafficGeneratorMaster
 from repro.ip.memory import SharedMemory
 from repro.ip.slave import MemorySlave, SlaveIP
@@ -127,6 +128,10 @@ class _MasterDecl(_IPDecl):
     seq_latency_cycles: int = DEFAULT_SEQ_LATENCY
     max_outstanding: int = 16
     protocol: str = "dtl"
+    #: End-to-end retry knobs (None = builder-wide default from retry()).
+    timeout_cycles: Optional[int] = None
+    max_retries: Optional[int] = None
+    retry_backoff: Optional[float] = None
     ip_name: str = ""
     shell_name: str = ""
     conn_name: str = ""
@@ -282,7 +287,9 @@ class System:
                  bootstrap_operations: int = 0,
                  configuration_mode: str = "functional",
                  tracer: Tracer = NULL_TRACER,
-                 deadlock_report: Optional[DeadlockReport] = None) -> None:
+                 deadlock_report: Optional[DeadlockReport] = None,
+                 fault_manager: Optional[FaultManager] = None,
+                 deadlock_check: str = "warn") -> None:
         self.model = model
         self.configuration_mode = configuration_mode
         self.masters = masters
@@ -297,6 +304,8 @@ class System:
         #: The channel-dependency-graph analysis of the declared BE routes
         #: (None when built with ``options(deadlock_check="off")``).
         self.deadlock_report = deadlock_report
+        self._fault_manager = fault_manager
+        self._deadlock_check = deadlock_check
 
     # --------------------------------------------------------------- lookups
     @property
@@ -391,6 +400,39 @@ class System:
             raise BuilderError("system was built without a configurator")
         return self.configurator.open_connection(self.noc, info.spec)
 
+    # -------------------------------------------------------- fault handling
+    @property
+    def faults(self) -> FaultManager:
+        """The runtime fault manager.
+
+        Built systems with a declared fault plan
+        (:meth:`SystemBuilder.inject_fault`) already own one; otherwise it
+        is created on first access so links can also be failed manually
+        mid-run (:meth:`fail_link` / :meth:`repair_link`).
+        """
+        if self._fault_manager is None:
+            self._fault_manager = FaultManager(
+                noc=self.model.noc, kernels=self.model.kernels,
+                allocator=self.model.allocator,
+                connections=self.connections, masters=self.masters,
+                deadlock_check=self._deadlock_check)
+        return self._fault_manager
+
+    def fail_link(self, a: Hashable, b: Hashable) -> None:
+        """Fail both directions between two adjacent elements *now*,
+        rerouting affected channels (see
+        :meth:`~repro.faults.manager.FaultManager.link_down`)."""
+        self.faults.link_down(a, b)
+
+    def repair_link(self, a: Hashable, b: Hashable) -> None:
+        """Bring both directions between two adjacent elements back up."""
+        self.faults.repair(a, b)
+
+    def health_report(self) -> HealthReport:
+        """Degradation snapshot: failed/repaired links, rerouted and
+        degraded channels, drop/retry counts, GT guarantee status."""
+        return self.faults.health_report()
+
     # ------------------------------------------------------------ statistics
     def counters(self) -> Dict[str, dict]:
         """Per-NI kernel statistics summaries, keyed by NI name."""
@@ -459,6 +501,10 @@ class SystemBuilder:
         #: overwrite it, regardless of call order.
         self._routing_explicit = False
         self._deadlock_check = "warn"
+        self._fault_plan = FaultPlan()
+        #: Builder-wide retry defaults: (timeout_cycles, max_retries,
+        #: backoff), applied to masters that don't set their own.
+        self._retry_defaults: Optional[Tuple[int, int, float]] = None
         self._decls: List[_IPDecl] = []
         self._connections: List[_ConnDecl] = []
         self._mode = "functional"
@@ -626,6 +672,68 @@ class SystemBuilder:
             self._deadlock_check = deadlock_check
         return self
 
+    # ------------------------------------------------------ fault injection
+    def inject_fault(self, at_cycle: int, a: Hashable, b: Hashable, *,
+                     kind: str = "link_down",
+                     until_cycle: Optional[int] = None,
+                     drop_probability: float = 0.5,
+                     seed: int = 1) -> "SystemBuilder":
+        """Schedule a runtime fault on the link between ``a`` and ``b``.
+
+        Endpoints are adjacent topology elements: two router nodes, or an
+        NI attachment name and its router.  Both directions are affected.
+
+        * ``kind="link_down"`` — the link fails permanently at ``at_cycle``
+          (flit clock); give ``until_cycle`` to schedule a repair.
+          Affected channels are rerouted over the surviving graph, GT
+          reservations re-placed (or demoted to best-effort), and the
+          rerouted route set re-checked for deadlock freedom.
+        * ``kind="transient"`` — a seeded drop window over
+          ``[at_cycle, until_cycle)``: each packet offered to the link is
+          dropped with ``drop_probability``.  Pair with :meth:`retry` so
+          the end-to-end retry layer absorbs the losses.
+
+        Declaring any fault registers a
+        :class:`~repro.faults.injector.FaultInjector` on the flit clock at
+        build time; systems without faults instantiate nothing and run
+        byte-identically to builds that predate the fault layer.
+        """
+        if kind == "link_down":
+            self._fault_plan.link_down(at_cycle, a, b)
+            if until_cycle is not None:
+                self._fault_plan.repair(until_cycle, a, b)
+        elif kind == "transient":
+            if until_cycle is None:
+                raise BuilderError(
+                    "inject_fault(kind='transient') needs until_cycle "
+                    "(the end of the drop window)")
+            self._fault_plan.transient(at_cycle, until_cycle, a, b,
+                                       drop_probability=drop_probability,
+                                       seed=seed)
+        else:
+            raise BuilderError(
+                f"unknown fault kind {kind!r} "
+                "(expected 'link_down' or 'transient')")
+        return self
+
+    def fault_plan(self, plan: FaultPlan) -> "SystemBuilder":
+        """Merge a pre-built :class:`~repro.faults.plan.FaultPlan`."""
+        self._fault_plan.merge(plan)
+        return self
+
+    def retry(self, timeout_cycles: int, *, max_retries: int = 3,
+              backoff: float = 2.0) -> "SystemBuilder":
+        """Arm end-to-end retry on every master that doesn't set its own.
+
+        A best-effort transaction expecting a response is retransmitted
+        (same transaction id; late originals are suppressed as duplicates)
+        when no response arrives within ``timeout_cycles`` IP cycles,
+        backing off exponentially, up to ``max_retries`` times — after
+        which it completes with ``ResponseError.TIMEOUT``.
+        """
+        self._retry_defaults = (timeout_cycles, max_retries, backoff)
+        return self
+
     def configuration(self, mode: str) -> "SystemBuilder":
         """How declared connections are opened at build time.
 
@@ -653,13 +761,20 @@ class SystemBuilder:
                    seq_latency_cycles: int = DEFAULT_SEQ_LATENCY,
                    max_outstanding: int = 16,
                    protocol: str = "dtl",
+                   timeout_cycles: Optional[int] = None,
+                   max_retries: Optional[int] = None,
+                   retry_backoff: Optional[float] = None,
                    num_slots: Optional[int] = None,
                    be_arbiter: str = "round_robin",
                    max_packet_words: int = 23,
                    ip_name: Optional[str] = None,
                    shell_name: Optional[str] = None,
                    conn_name: Optional[str] = None) -> "SystemBuilder":
-        """Declare a traffic-generating master IP behind its own NI."""
+        """Declare a traffic-generating master IP behind its own NI.
+
+        ``timeout_cycles`` arms this master's end-to-end retry layer
+        (see :meth:`retry` for the builder-wide default and semantics).
+        """
         self._decls.append(_MasterDecl(
             name=name, router=router, ni=ni or name, port=port,
             clock_mhz=clock_mhz, queue_words=queue_words, num_slots=num_slots,
@@ -667,6 +782,8 @@ class SystemBuilder:
             pattern=pattern, max_transactions=max_transactions,
             stop_cycle=stop_cycle, seq_latency_cycles=seq_latency_cycles,
             max_outstanding=max_outstanding, protocol=protocol,
+            timeout_cycles=timeout_cycles, max_retries=max_retries,
+            retry_backoff=retry_backoff,
             ip_name=ip_name or name,
             shell_name=shell_name or f"{name}_shell",
             conn_name=conn_name or f"{name}_conn"))
@@ -1141,6 +1258,19 @@ class SystemBuilder:
                                 list(allocation.injection_slots)
             connections[conn.name] = info
 
+        # Runtime fault handling — instantiated only when faults are
+        # declared, so no-fault builds stay byte-identical (no extra
+        # clocked components, no extra wakes).
+        fault_manager: Optional[FaultManager] = None
+        if self._fault_plan:
+            fault_manager = FaultManager(
+                noc=model.noc, kernels=model.kernels,
+                allocator=model.allocator, connections=connections,
+                masters=master_handles,
+                deadlock_check=self._deadlock_check)
+            model.noc.flit_clock.add_component(
+                FaultInjector(fault_manager, self._fault_plan))
+
         return System(model=model, masters=master_handles,
                       memories=memory_handles, connections=connections,
                       configurator=configurator, config_shell=config_shell,
@@ -1148,7 +1278,9 @@ class SystemBuilder:
                       bootstrap_operations=bootstrap_ops,
                       configuration_mode=self._mode,
                       tracer=self._tracer,
-                      deadlock_report=deadlock_report)
+                      deadlock_report=deadlock_report,
+                      fault_manager=fault_manager,
+                      deadlock_check=self._deadlock_check)
 
     def _check_deadlock(self, model: SystemModel,
                         masters: Dict[str, _MasterDecl],
@@ -1288,10 +1420,20 @@ class SystemBuilder:
             conn_shell = PointToPointShell(decl.conn_name, port,
                                            role="master",
                                            tracer=self._tracer)
+        defaults = self._retry_defaults or (None, 3, 2.0)
+        timeout_cycles = (decl.timeout_cycles if decl.timeout_cycles
+                          is not None else defaults[0])
+        max_retries = (decl.max_retries if decl.max_retries is not None
+                       else defaults[1])
+        retry_backoff = (decl.retry_backoff if decl.retry_backoff is not None
+                         else defaults[2])
         shell = MasterShell(decl.shell_name, conn_shell,
                             protocol=decl.protocol,
                             seq_latency_cycles=decl.seq_latency_cycles,
                             max_outstanding=decl.max_outstanding,
+                            timeout_cycles=timeout_cycles,
+                            max_retries=max_retries,
+                            retry_backoff=retry_backoff,
                             tracer=self._tracer)
         ip = TrafficGeneratorMaster(decl.ip_name, shell, pattern=decl.pattern,
                                     max_transactions=decl.max_transactions,

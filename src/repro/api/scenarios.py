@@ -711,6 +711,115 @@ def _saturated_torus(rows: int = 4, cols: int = 4) -> System:
     return builder.build()
 
 
+# ---------------------------------------------------------------------------
+# Fault-injection scenarios (repro.faults)
+# ---------------------------------------------------------------------------
+@scenario("link_failure_reroute",
+          description="A mesh link dies mid-run: best-effort traffic is "
+                      "rerouted over the surviving graph and the retry "
+                      "layer recovers every in-flight loss.",
+          tags=("functional", "faults"))
+def _link_failure_reroute(fail_cycle: int = 60,
+                          max_transactions: int = 60,
+                          period_cycles: int = 10, burst_words: int = 4,
+                          timeout_cycles: int = 400, max_retries: int = 5
+                          ) -> System:
+    return (SystemBuilder("link_failure_reroute")
+            .mesh(2, 2)
+            .add_master("m0", router=(0, 0),
+                        pattern=ConstantBitRateTraffic(
+                            period_cycles=period_cycles,
+                            burst_words=burst_words, write=True,
+                            posted=False),
+                        max_transactions=max_transactions,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries)
+            .add_memory("mem", router=(1, 1), words=4096)
+            .connect("m0", "mem", name="m0_mem")
+            .inject_fault(fail_cycle, (0, 0), (0, 1))
+            .build())
+
+
+@scenario("transient_storm",
+          description="A seeded drop window corrupts packets on the only "
+                      "link of a two-router system; end-to-end retry with "
+                      "exponential backoff rides the storm out.",
+          tags=("functional", "faults"))
+def _transient_storm(window_start: int = 40, window_end: int = 400,
+                     drop_probability: float = 0.4, seed: int = 7,
+                     max_transactions: int = 40,
+                     period_cycles: int = 12, burst_words: int = 4,
+                     timeout_cycles: int = 150, max_retries: int = 6
+                     ) -> System:
+    return (SystemBuilder("transient_storm")
+            .mesh(1, 2)
+            .add_master("m0", router=(0, 0),
+                        pattern=ConstantBitRateTraffic(
+                            period_cycles=period_cycles,
+                            burst_words=burst_words, write=True,
+                            posted=False),
+                        max_transactions=max_transactions,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries)
+            .add_memory("mem", router=(0, 1), words=4096)
+            .connect("m0", "mem", name="m0_mem")
+            .inject_fault(window_start, (0, 0), (0, 1), kind="transient",
+                          until_cycle=window_end,
+                          drop_probability=drop_probability, seed=seed)
+            .build())
+
+
+def _diamond_topology() -> Topology:
+    """A diamond with a long southern detour: n0-n1-n2 (short) and
+    n0-n3-n4-n2 (the only alternative once n0-n1 dies)."""
+    return Topology.custom(
+        ["n0", "n1", "n2", "n3", "n4"],
+        [("n0", "n1"), ("n1", "n2"),
+         ("n0", "n3"), ("n3", "n4"), ("n4", "n2")],
+        name="diamond")
+
+
+@scenario("gt_degraded",
+          description="A GT connection loses its path; the detour has no "
+                      "free slots (a second GT connection owns them), so "
+                      "the channel is demoted to best-effort — degraded "
+                      "and reported, never silently wrong.",
+          tags=("functional", "faults"))
+def _gt_degraded(fail_cycle: int = 80, max_transactions: int = 40,
+                 period_cycles: int = 12, burst_words: int = 2,
+                 num_slots: int = 4,
+                 timeout_cycles: int = 400, max_retries: int = 5) -> System:
+    return (SystemBuilder("gt_degraded")
+            .custom_topology(_diamond_topology(), num_slots=num_slots)
+            .add_master("m0", router="n0",
+                        pattern=ConstantBitRateTraffic(
+                            period_cycles=period_cycles,
+                            burst_words=burst_words, write=True,
+                            posted=False),
+                        max_transactions=max_transactions,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries)
+            .add_memory("mem", router="n2", words=4096)
+            # The victim: GT over the short n0-n1-n2 path.
+            .connect("m0", "mem", name="victim", gt=True,
+                     request_slots=2, response_slots=2)
+            # The blocker: a GT connection whose slots saturate the only
+            # detour (n3-n4-n2 and back), so the victim cannot be re-placed.
+            .add_master("blocker", router="n3",
+                        pattern=ConstantBitRateTraffic(
+                            period_cycles=2 * period_cycles,
+                            burst_words=burst_words, write=True,
+                            posted=False),
+                        max_transactions=max_transactions // 2,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries)
+            .add_memory("mem2", router="n2", words=4096)
+            .connect("blocker", "mem2", name="blocker", gt=True,
+                     request_slots=3, response_slots=3)
+            .inject_fault(fail_cycle, "n0", "n1")
+            .build())
+
+
 @scenario("saturated_grid",
           description="A 6x6 mesh under saturating mixed GT/BE load with "
                       "all three BE arbiters (perf-suite hot-path shape).",

@@ -17,8 +17,9 @@ state the kernel needs:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.core.queues import HardwareFifo
 from repro.sim.engine import Simulator
@@ -74,6 +75,11 @@ class Channel:
         self._ctr_packets_sent = self.stats.counter("packets_sent")
         self._ctr_credits_sent = self.stats.counter("credits_sent")
         self._ctr_words_received = self.stats.counter("words_received")
+        #: Corrupt word ranges in the destination stream (repro.faults):
+        #: ``[start, end)`` intervals in cumulative deposit order.  Empty —
+        #: and completely free — on healthy channels.
+        self.poison_intervals: Deque[List[int]] = deque()
+        self._rx_popped = 0  # pop cursor; (re)based when poison appears
         #: Wake hook toward the kernel (transmit side): fires on any stimulus
         #: that could make this channel schedulable (source words, credits,
         #: space, flush).  Set by :meth:`NIKernel.add_channel`.
@@ -143,6 +149,50 @@ class Channel:
         taken = min(self.credit, maximum)
         self.credit -= taken
         return taken
+
+    # ---------------------------------------------------------------- poison
+    def note_poisoned_words(self, words: int) -> None:
+        """Mark the last ``words`` words deposited into the destination
+        queue as corrupt (the flit that carried them crossed a faulty link
+        — see the fault model note in :mod:`repro.network.link`).
+
+        The queue is FIFO, so cumulative deposit indices equal cumulative
+        pop indices; intervals are recorded in that shared coordinate and
+        consumed in order by :meth:`rx_word_poisoned`, which the reading
+        connection shell calls per popped word while poison is pending.
+        """
+        if words <= 0:
+            return
+        end = self._ctr_words_received.value
+        start = end - words
+        intervals = self.poison_intervals
+        if not intervals:
+            # (Re)base the pop cursor: everything deposited but not yet
+            # popped is still in (or crossing into) the destination queue.
+            self._rx_popped = end - self.dest_queue.total_fill
+            intervals.append([start, end])
+        elif intervals[-1][1] == start:
+            intervals[-1][1] = end
+        else:
+            intervals.append([start, end])
+
+    def rx_word_poisoned(self) -> bool:
+        """Advance the pop cursor one word; True when that word is corrupt.
+
+        Only meaningful while :attr:`poison_intervals` is non-empty — the
+        shell guards on that, so healthy channels never pay for this.
+        """
+        index = self._rx_popped
+        self._rx_popped = index + 1
+        intervals = self.poison_intervals
+        if not intervals:
+            return False
+        start, end = intervals[0]
+        if index < start:
+            return False
+        if index >= end - 1:
+            intervals.popleft()
+        return True
 
     # ----------------------------------------------------------------- flush
     def request_flush(self) -> None:

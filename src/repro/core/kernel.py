@@ -317,6 +317,11 @@ class NIKernel(ClockedComponent):
         if words:
             self._ctr_words_received.increment(len(words))
             channel._ctr_words_received.increment(len(words))
+            if packet.poisoned:
+                # A faulty link corrupted this packet: the words are
+                # delivered (framing stays intact) but flagged so the
+                # message layer CRC-discards whatever they touch.
+                channel.note_poisoned_words(len(words))
         if flit.is_tail:
             packet.delivered_cycle = cycle
             self._ctr_packets_received.increment()

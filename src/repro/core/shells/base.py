@@ -69,6 +69,9 @@ class ConnectionShell(ClockedComponent):
         #: Fully reassembled messages ready for the adapter above.
         self._rx_ready: Deque[Tuple[Message, int]] = deque()
         self._rx_current_conn: Optional[int] = None
+        #: Connections whose message-in-reassembly touched a poisoned word
+        #: (repro.faults): the completed message is CRC-discarded.
+        self._rx_poisoned: set = set()
         #: Channels this shell streams to/from, cached to skip the
         #: port -> kernel -> channel lookup chain on every word (hot path).
         self._conn_channels = [port.channel(conn)
@@ -217,6 +220,8 @@ class ConnectionShell(ClockedComponent):
             channel = channels[conn]
             word = channel.dest_queue.pop()
             channel.add_credit(1)
+            if channel.poison_intervals and channel.rx_word_poisoned():
+                self._rx_poisoned.add(conn)
             buffer = self._rx_partial.setdefault(conn, [])
             buffer.append(word)
             if self._rx_expected.get(conn) is None:
@@ -229,6 +234,18 @@ class ConnectionShell(ClockedComponent):
                 self._rx_partial[conn] = []
                 self._rx_expected[conn] = None
                 self._rx_current_conn = None
+                if conn in self._rx_poisoned:
+                    # A faulty link corrupted part of this message: the
+                    # CRC check fails and the whole message is discarded.
+                    # The end-to-end retry layer (master shell timeouts)
+                    # is what recovers the transaction.
+                    self._rx_poisoned.discard(conn)
+                    self.stats.counter("messages_discarded").increment()
+                    if self.tracer.enabled:
+                        self.tracer.record(self._now_ps(), self.name,
+                                           "message_discarded",
+                                           conn=conn, words=len(words))
+                    continue
                 message = self._parse(words)
                 self._ctr_messages_received.increment()
                 if self.tracer.enabled:

@@ -1,0 +1,37 @@
+"""Runtime fault injection, fault-aware rerouting and graceful degradation.
+
+The robustness layer on top of the Æthereal-style NI stack:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — declarative fault schedules
+  (permanent ``link_down``, seeded transient drop windows, repairs);
+* :class:`FaultInjector` — a clocked component replaying a plan at runtime
+  (only instantiated when faults are declared: no-fault runs stay
+  byte-identical);
+* :class:`FaultAwareRouting` — a routing-registry wrapper that masks
+  failed links and recomputes routes over the surviving graph;
+* :class:`FaultManager` — applies faults to a built system: fails links,
+  rewrites source-route registers, re-places GT slot reservations (or
+  demotes to best-effort), refunds flow control for dropped packets,
+  re-runs the deadlock analysis, and produces :class:`HealthReport`.
+
+End-to-end retry lives in the master shell
+(:class:`repro.core.shells.master.MasterShell`, ``timeout_cycles=...``);
+the builder front door is ``SystemBuilder.inject_fault(...)`` and
+``System.health_report()``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.manager import FaultManager, HealthReport, ManagedChannel
+from repro.faults.plan import FaultError, FaultEvent, FaultPlan
+from repro.faults.routing import FaultAwareRouting
+
+__all__ = [
+    "FaultAwareRouting",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultManager",
+    "FaultPlan",
+    "HealthReport",
+    "ManagedChannel",
+]

@@ -10,6 +10,22 @@ Best-effort traffic uses link-level backpressure: the sender calls
 :meth:`Link.can_send_be` which queries the sink's free best-effort buffer
 space (modeling the flow-control wires of the router of [21]).  Guaranteed
 traffic is never blocked — the slot allocation makes it contention-free.
+
+Fault model (``repro.faults``)
+------------------------------
+
+A link can be taken down at runtime (:meth:`Link.fail`) or made lossy for a
+window (:meth:`Link.set_lossy`).  Faults *poison* packets rather than
+deleting flits from the wire: the decision is taken per packet at its head
+flit, the flits still traverse with normal timing (garbage propagates just
+as fast as data), and the receiving NI kernel — which would CRC-check in
+hardware — delivers the words but marks them corrupt, so the message layer
+discards every message they touch (see
+:meth:`~repro.core.channel.Channel.note_poisoned_words`).  This keeps the
+destination word framing and the end-to-end flow-control accounting exactly
+consistent: loss is observable only as missing responses, which the master
+shell's retry/timeout layer absorbs.  A healthy link pays one boolean test
+per flit for all of this; no-fault runs stay byte-identical.
 """
 
 from __future__ import annotations
@@ -47,6 +63,15 @@ class Link(ClockedComponent):
         self.words_carried = 0
         self.gt_flits_carried = 0
         self.be_flits_carried = 0
+        # Fault state.  ``_unreliable`` is the single flag the hot send()
+        # path tests; it is True iff the link is failed or inside a lossy
+        # window, so healthy links never enter the fault path.
+        self._unreliable = False
+        self._faulty = False
+        self._drop_probability = 0.0
+        self._drop_rng = None
+        self.packets_poisoned = 0
+        self.words_poisoned = 0
 
     @property
     def sink(self) -> Optional[object]:
@@ -83,6 +108,8 @@ class Link(ClockedComponent):
         return be_space(self.sink_port) - in_flight > 0
 
     def send(self, flit: Flit) -> None:
+        if self._unreliable and flit.is_head:
+            self._fault_mark(flit)
         if self._incoming is not None:
             raise LinkContentionError(
                 f"link {self.name}: two flits offered in the same cycle "
@@ -98,6 +125,74 @@ class Link(ClockedComponent):
         # protocol contract): keeping this clock awake until the flit is
         # staged and consumed is what delivers it to an otherwise-idle sink.
         self.notify_active()
+
+    # ---------------------------------------------------------------- faults
+    @property
+    def failed(self) -> bool:
+        """True while the link is permanently down (until :meth:`repair`)."""
+        return self._faulty
+
+    @property
+    def lossy(self) -> bool:
+        """True while a transient drop window is active."""
+        return self._drop_rng is not None
+
+    def fail(self) -> None:
+        """Take the link down.
+
+        Packets already mid-wormhole on this link are poisoned (the wire
+        goes bad under them); everything offered from now on is poisoned at
+        its head flit.  Flits keep traversing with normal timing so the
+        downstream framing and flow-control accounting stay consistent —
+        the loss becomes visible as CRC-discarded messages at the
+        destination shell.
+        """
+        if self._faulty:
+            return
+        self._faulty = True
+        self._unreliable = True
+        for flit in (self._incoming, self._stage):
+            if flit is not None and not flit.packet.poisoned:
+                self._poison(flit.packet)
+
+    def repair(self) -> None:
+        """Bring a failed link back up (poisoned packets stay poisoned)."""
+        self._faulty = False
+        self._unreliable = self._drop_rng is not None
+
+    def set_lossy(self, probability: float, rng) -> None:
+        """Start a transient drop window: each packet offered while the
+        window is open is poisoned with ``probability`` (decided at the
+        head flit by the seeded ``rng``)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"drop probability {probability} outside [0, 1]")
+        self._drop_probability = float(probability)
+        self._drop_rng = rng
+        self._unreliable = True
+
+    def clear_lossy(self) -> None:
+        """End the transient drop window."""
+        self._drop_probability = 0.0
+        self._drop_rng = None
+        self._unreliable = self._faulty
+
+    def _fault_mark(self, flit: Flit) -> None:
+        packet = flit.packet
+        if packet.poisoned:
+            return
+        if self._faulty or (self._drop_rng is not None
+                            and self._drop_rng.random()
+                            < self._drop_probability):
+            self._poison(packet)
+
+    def _poison(self, packet) -> None:
+        packet.poisoned = True
+        self.packets_poisoned += 1
+        self.words_poisoned += len(packet.payload)
+        now_ps = self._clock.sim.now if self._clock is not None else 0
+        self.tracer.record(now_ps, self.name, "packet_poisoned",
+                           packet=packet.packet_id,
+                           channel=packet.header.channel_key)
 
     # ------------------------------------------------------------- receiving
     def peek(self) -> Optional[Flit]:

@@ -12,10 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
+import networkx as nx
+
 from repro.network.link import Link
 from repro.network.packet import FLIT_WORDS, NETWORK_FREQUENCY_MHZ
 from repro.network.router import Router
 from repro.network.routing import (
+    RouteError,
     RoutingStrategy,
     make_routing,
     ports_from_router_sequence,
@@ -51,7 +54,9 @@ class NoC:
                  links: Dict[LinkId, Link],
                  attachments: Dict[str, Attachment],
                  routing_algorithm: Union[str, RoutingStrategy] = "auto",
-                 tracer: Tracer = NULL_TRACER) -> None:
+                 tracer: Tracer = NULL_TRACER,
+                 router_link_endpoints: Optional[
+                     Dict[LinkId, Tuple[Hashable, Hashable]]] = None) -> None:
         self.sim = sim
         self.topology = topology
         self.port_map = port_map
@@ -65,6 +70,17 @@ class NoC:
         self.routing_algorithm = self.routing.name
         self.tracer = tracer
         self.stats = StatsRegistry()
+        #: Link ids currently failed (see :meth:`fail_link`).  While this set
+        #: is non-empty every computed route is validated against it; when it
+        #: is empty (the no-fault case) routing pays nothing.
+        self.failed_links: set = set()
+        #: Bumped on every fail/repair so route caches can invalidate.
+        self.fault_version = 0
+        #: Router-to-router link id -> ``(node_a, node_b)`` endpoints, used
+        #: to translate failed links into topology edges for rerouting.
+        self.router_link_endpoints = (router_link_endpoints
+                                      if router_link_endpoints is not None
+                                      else {})
 
     # -------------------------------------------------------------- lookups
     def attachment(self, name: str) -> Attachment:
@@ -104,9 +120,15 @@ class NoC:
 
         ``routing`` overrides the NoC default strategy for this route (the
         per-connection ``connect(..., routing=...)`` knob resolves here).
+        Raises :class:`RouteError` when the computed route crosses a failed
+        link (see :meth:`fail_link`).
         """
         dst = self.attachment(dst_name)
         sequence = self.router_sequence(src_name, dst_name, routing=routing)
+        if self.failed_links:
+            self._check_route_health(
+                self._sequence_link_ids(sequence, src_name, dst_name),
+                src_name, dst_name)
         return ports_from_router_sequence(self.port_map, sequence,
                                           dst.local_port)
 
@@ -115,6 +137,14 @@ class NoC:
                        ) -> List[LinkId]:
         """Every link (including NI-router links) a route traverses, in order."""
         sequence = self.router_sequence(src_name, dst_name, routing=routing)
+        ids = self._sequence_link_ids(sequence, src_name, dst_name)
+        if self.failed_links:
+            self._check_route_health(ids, src_name, dst_name)
+        return ids
+
+    @staticmethod
+    def _sequence_link_ids(sequence: List[Hashable], src_name: str,
+                           dst_name: str) -> List[LinkId]:
         ids: List[LinkId] = [(f"ni:{src_name}", f"router:{sequence[0]!r}")]
         for a, b in zip(sequence, sequence[1:]):
             ids.append((f"router:{a!r}", f"router:{b!r}"))
@@ -125,6 +155,65 @@ class NoC:
                   routing: Optional[Union[str, RoutingStrategy]] = None) -> int:
         """Number of routers traversed between two NIs."""
         return len(self.router_sequence(src_name, dst_name, routing=routing))
+
+    # ---------------------------------------------------------------- faults
+    def fail_link(self, link_id: LinkId) -> None:
+        """Take one directed link down (see :meth:`Link.fail`)."""
+        try:
+            link = self.links[link_id]
+        except KeyError as exc:
+            raise TopologyError(f"unknown link {link_id!r}") from exc
+        link.fail()
+        self.failed_links.add(link_id)
+        self.fault_version += 1
+
+    def repair_link(self, link_id: LinkId) -> None:
+        """Bring one directed link back up."""
+        try:
+            link = self.links[link_id]
+        except KeyError as exc:
+            raise TopologyError(f"unknown link {link_id!r}") from exc
+        link.repair()
+        self.failed_links.discard(link_id)
+        self.fault_version += 1
+
+    def failed_router_edges(self) -> set:
+        """Node pairs ``(a, b)`` of currently failed router-to-router links."""
+        edges = set()
+        for link_id in self.failed_links:
+            endpoints = self.router_link_endpoints.get(link_id)
+            if endpoints is not None:
+                edges.add(endpoints)
+        return edges
+
+    def _check_route_health(self, link_ids: List[LinkId], src_name: str,
+                            dst_name: str) -> None:
+        for link_id in link_ids:
+            if link_id in self.failed_links:
+                raise RouteError(
+                    self._dead_link_message(link_id, src_name, dst_name))
+
+    def _dead_link_message(self, link_id: LinkId, src_name: str,
+                           dst_name: str) -> str:
+        head = (f"route {src_name}->{dst_name} crosses failed link "
+                f"{link_id[0]}->{link_id[1]}")
+        if self._has_fault_free_path(src_name, dst_name):
+            return (head + "; a fault-free path exists — route with "
+                    "repro.faults.FaultAwareRouting to mask failed links")
+        return head + " and no fault-free path exists"
+
+    def _has_fault_free_path(self, src_name: str, dst_name: str) -> bool:
+        src = self.attachment(src_name)
+        dst = self.attachment(dst_name)
+        if (f"ni:{src_name}", f"router:{src.router_node!r}") in self.failed_links:
+            return False
+        if (f"router:{dst.router_node!r}", f"ni:{dst_name}") in self.failed_links:
+            return False
+        graph = self.topology.graph.copy()
+        for a, b in self.failed_router_edges():
+            if graph.has_edge(a, b):
+                graph.remove_edge(a, b)
+        return nx.has_path(graph, src.router_node, dst.router_node)
 
     # ------------------------------------------------------------ statistics
     def total_flits_forwarded(self) -> int:
@@ -209,12 +298,14 @@ class NoCBuilder:
             return link
 
         # Router-to-router links (both directions per topology edge).
+        router_link_endpoints: Dict[LinkId, Tuple[Hashable, Hashable]] = {}
         for a in self.topology.routers:
             for b in self.topology.neighbors(a):
                 link_id = (f"router:{a!r}", f"router:{b!r}")
                 if link_id in links:
                     continue
                 link = make_link(link_id)
+                router_link_endpoints[link_id] = (a, b)
                 routers[a].connect_output(port_map.port_toward(a, b), link)
                 routers[b].connect_input(port_map.port_toward(b, a), link)
 
@@ -239,4 +330,5 @@ class NoCBuilder:
                    flit_clock=flit_clock, routers=routers, links=links,
                    attachments=attachments,
                    routing_algorithm=self.routing_algorithm,
-                   tracer=self.tracer)
+                   tracer=self.tracer,
+                   router_link_endpoints=router_link_endpoints)

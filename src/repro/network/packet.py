@@ -81,7 +81,7 @@ class Packet:
     """A packet: one header word plus ``payload`` data words."""
 
     __slots__ = ("header", "payload", "injected_cycle", "delivered_cycle",
-                 "_route_pos", "packet_id")
+                 "_route_pos", "packet_id", "poisoned")
 
     _next_id = 0
 
@@ -94,6 +94,11 @@ class Packet:
         self._route_pos = 0
         self.packet_id = Packet._next_id
         Packet._next_id += 1
+        #: Set by a faulty link (repro.faults): the packet's bits are
+        #: corrupt; the receiving NI delivers the words (framing is
+        #: preserved) but the message layer CRC-discards anything they
+        #: touch.
+        self.poisoned = False
 
     # ------------------------------------------------------------------ size
     @property

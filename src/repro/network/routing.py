@@ -314,6 +314,17 @@ ROUTING_STRATEGIES: Dict[str, Callable[[], RoutingStrategy]] = {
 }
 
 
+def _fault_aware_factory() -> "RoutingStrategy":
+    # Imported lazily: repro.faults builds on this module.
+    from repro.faults.routing import FaultAwareRouting
+    return FaultAwareRouting()
+
+
+#: "fault_aware" resolves to a FaultAwareRouting wrapping "auto" with no
+#: failures — a transparent pass-through until edges are failed on it.
+ROUTING_STRATEGIES["fault_aware"] = _fault_aware_factory
+
+
 def register_routing(name: str,
                      factory: Callable[[], RoutingStrategy]) -> None:
     """Register a routing strategy factory under ``name``."""

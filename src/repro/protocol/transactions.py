@@ -64,6 +64,9 @@ class ResponseError(IntEnum):
     DECODE_ERROR = 1
     SLAVE_ERROR = 2
     CONDITIONAL_FAIL = 3
+    #: Synthesised locally by the master shell when a transaction exhausts
+    #: its retry budget (never carried on the wire).
+    TIMEOUT = 4
 
 
 @dataclass

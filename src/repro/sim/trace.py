@@ -3,10 +3,17 @@
 Traces are optional: components accept a tracer and emit :class:`TraceEvent`
 records (packet injected, flit forwarded, register written, ...).  Tests use
 traces to check cycle-accurate behaviour; examples print them.
+
+For debugging at scale (the migScope-style use case) the tracer supports a
+bounded **ring buffer** (``ring_buffer=N`` keeps only the N most recent
+events) and a **trigger** (:meth:`Tracer.arm`): an armed tracer discards
+events until the predicate fires, then starts retaining — so a whole-run
+trace is never accumulated just to see the moments around a fault.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -30,15 +37,40 @@ class Tracer:
 
     def __init__(self, enabled: bool = True,
                  kinds: Optional[Iterable[str]] = None,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 ring_buffer: Optional[int] = None) -> None:
         self.enabled = enabled
         self.kinds = set(kinds) if kinds is not None else None
+        #: Stop retaining after this many events (None = unbounded).  With
+        #: ``ring_buffer`` set, old events are evicted instead and this knob
+        #: is ignored.
         self.max_events = max_events
-        self.events: List[TraceEvent] = []
+        self.ring_buffer = ring_buffer
+        if ring_buffer is not None:
+            if ring_buffer <= 0:
+                raise ValueError(f"ring_buffer must be positive, got {ring_buffer}")
+            self.events = deque(maxlen=ring_buffer)
+        else:
+            self.events: List[TraceEvent] = []
         self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._trigger: Optional[Callable[[TraceEvent], bool]] = None
+        #: True once the armed trigger predicate has fired (always True when
+        #: no trigger is armed).
+        self.triggered = True
 
     def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
         self._listeners.append(listener)
+
+    def arm(self, predicate: Callable[[TraceEvent], bool]) -> None:
+        """Arm a trigger: discard events until ``predicate(event)`` is true,
+        then retain from that event (inclusive) onward."""
+        self._trigger = predicate
+        self.triggered = False
+
+    def disarm(self) -> None:
+        """Remove the trigger; retention resumes unconditionally."""
+        self._trigger = None
+        self.triggered = True
 
     def record(self, time_ps: int, source: str, kind: str,
                **details: object) -> None:
@@ -46,10 +78,15 @@ class Tracer:
             return
         if self.kinds is not None and kind not in self.kinds:
             return
-        if self.max_events is not None and len(self.events) >= self.max_events:
+        if (self.ring_buffer is None and self.max_events is not None
+                and len(self.events) >= self.max_events):
             return
         event = TraceEvent(time_ps=time_ps, source=source, kind=kind,
                            details=dict(details))
+        if not self.triggered:
+            if not self._trigger(event):
+                return
+            self.triggered = True
         self.events.append(event)
         for listener in self._listeners:
             listener(event)
@@ -67,7 +104,9 @@ class Tracer:
         self.events.clear()
 
     def dump(self, limit: Optional[int] = None) -> str:
-        events = self.events if limit is None else self.events[:limit]
+        events = list(self.events)
+        if limit is not None:
+            events = events[:limit]
         return "\n".join(str(e) for e in events)
 
 

@@ -178,3 +178,66 @@ class TestTracer:
         assert "src" in tracer.dump()
         tracer.clear()
         assert tracer.events == []
+
+
+class TestTracerRingBuffer:
+    def test_ring_buffer_keeps_only_newest_events(self):
+        tracer = Tracer(ring_buffer=3)
+        for i in range(10):
+            tracer.record(i, "s", "k", seq=i)
+        assert len(tracer.events) == 3
+        assert [e.details["seq"] for e in tracer.events] == [7, 8, 9]
+
+    def test_ring_buffer_overrides_max_events(self):
+        tracer = Tracer(ring_buffer=3, max_events=1)
+        for i in range(5):
+            tracer.record(i, "s", "k", seq=i)
+        # max_events stops retention; ring_buffer evicts instead.
+        assert [e.details["seq"] for e in tracer.events] == [2, 3, 4]
+
+    def test_ring_buffer_must_be_positive(self):
+        with pytest.raises(ValueError, match="ring_buffer"):
+            Tracer(ring_buffer=0)
+
+    def test_dump_and_filter_work_on_the_ring(self):
+        tracer = Tracer(ring_buffer=2)
+        tracer.record(0, "a", "x")
+        tracer.record(1, "b", "x")
+        tracer.record(2, "a", "y")
+        assert len(tracer.filter(source="a")) == 1
+        assert "b" in tracer.dump(limit=1)
+
+
+class TestTracerTrigger:
+    def test_armed_tracer_discards_until_predicate_fires(self):
+        tracer = Tracer()
+        tracer.arm(lambda e: e.kind == "packet_poisoned")
+        tracer.record(0, "link", "flit_forwarded")
+        tracer.record(1, "link", "flit_forwarded")
+        assert tracer.events == [] and not tracer.triggered
+        tracer.record(2, "link", "packet_poisoned", packet=7)
+        tracer.record(3, "link", "flit_forwarded")
+        # Retention starts at the triggering event, inclusive.
+        assert [e.kind for e in tracer.events] == ["packet_poisoned",
+                                                   "flit_forwarded"]
+        assert tracer.triggered
+
+    def test_disarm_resumes_unconditional_retention(self):
+        tracer = Tracer()
+        tracer.arm(lambda e: False)
+        tracer.record(0, "s", "k")
+        assert tracer.events == []
+        tracer.disarm()
+        tracer.record(1, "s", "k")
+        assert len(tracer.events) == 1
+
+    def test_trigger_composes_with_ring_buffer(self):
+        # The migScope use case: a tiny window of history around a fault,
+        # without ever accumulating the whole run.
+        tracer = Tracer(ring_buffer=2)
+        tracer.arm(lambda e: e.kind == "fault")
+        for i in range(100):
+            tracer.record(i, "s", "noise", seq=i)
+        tracer.record(100, "s", "fault")
+        tracer.record(101, "s", "after")
+        assert [e.kind for e in tracer.events] == ["fault", "after"]
