@@ -44,6 +44,14 @@ suite can exercise the harness in well under a second.  ``--only NAME``
 (repeatable) reruns just the named scenarios while iterating — the results
 are merged into an existing output file, so the tracked ``BENCH_PERF.json``
 stays complete.  ``--list`` prints the scenario names and exits.
+
+``--compare OLD.json`` diffs this run against a previously written report:
+for every scenario present in both it prints the wall-time and
+executed-event deltas, and the process exits nonzero when any scenario's
+median wall time regressed by more than ``--regression-pct`` (default 20%).
+Scenarios whose cycle counts differ between the two reports are skipped
+(with a note) rather than compared apples-to-oranges.  This is the CI gate
+``make check`` runs against the tracked ``BENCH_PERF.json``.
 """
 
 from __future__ import annotations
@@ -290,6 +298,77 @@ def run_suite(quick: bool, repeats: int,
     return report
 
 
+def compare_reports(new: Dict[str, object], old: Dict[str, object],
+                    regression_pct: float) -> int:
+    """Print per-scenario wall/event deltas vs ``old``; count regressions.
+
+    Returns the number of scenarios that regressed beyond ``regression_pct``
+    percent.  When both reports ran a scenario for the same number of flit
+    cycles, the gated metric is median wall time (activity mode).  When the
+    cycle counts differ (e.g. a ``--quick`` run compared against the tracked
+    full-run ``BENCH_PERF.json``), wall times are not comparable — instead
+    the deterministic *events per flit cycle* rate is gated: the event count
+    scales linearly with cycles for these fixed workloads, so a jump in the
+    rate means an engine change (e.g. bursts no longer forming), with none
+    of the wall-clock noise of a sub-second quick run.
+    """
+    new_scenarios = new["scenarios"]
+    old_scenarios = old.get("scenarios", {})
+    regressions: List[str] = []
+    print(f"\n== comparison vs baseline (threshold {regression_pct:.0f}%) ==")
+    for name, entry in new_scenarios.items():
+        old_entry = old_scenarios.get(name)
+        if old_entry is None:
+            print(f"{name:>16}: (new scenario, no baseline)")
+            continue
+        new_wall = entry["activity"]["median_wall_s"]
+        old_wall = old_entry["activity"]["median_wall_s"]
+        new_events = entry["activity"]["executed_events"]
+        old_events = old_entry["activity"]["executed_events"]
+        new_cycles = entry["flit_cycles"]
+        old_cycles = old_entry.get("flit_cycles")
+        if old_cycles == new_cycles:
+            wall_delta = 100.0 * (new_wall - old_wall) / max(old_wall, 1e-9)
+            status = "ok"
+            if wall_delta > regression_pct:
+                status = "REGRESSION"
+                regressions.append(name)
+            print(f"{name:>16}: wall {old_wall * 1e3:8.1f} -> "
+                  f"{new_wall * 1e3:8.1f} ms ({wall_delta:+6.1f}%), "
+                  f"events {old_events:>9} -> {new_events:>9} "
+                  f"({new_events - old_events:+d})  [{status}]")
+        elif old_events <= 100:
+            # Constant-event scenario (idle_mesh: the clocks start, sleep,
+            # and nothing else happens regardless of duration) — the event
+            # count itself is the cross-regime invariant.
+            delta = 100.0 * (new_events - old_events) / max(old_events, 1)
+            status = "ok"
+            if delta > regression_pct:
+                status = "REGRESSION"
+                regressions.append(name)
+            print(f"{name:>16}: cycles differ ({old_cycles} vs {new_cycles}),"
+                  f" gating events {old_events} -> {new_events} "
+                  f"({delta:+6.1f}%)  [{status}]")
+        else:
+            new_rate = new_events / max(new_cycles, 1)
+            old_rate = old_events / max(old_cycles or 1, 1)
+            rate_delta = 100.0 * (new_rate - old_rate) / max(old_rate, 1e-9)
+            status = "ok"
+            if rate_delta > regression_pct:
+                status = "REGRESSION"
+                regressions.append(name)
+            print(f"{name:>16}: cycles differ ({old_cycles} vs {new_cycles}),"
+                  f" gating events/cycle {old_rate:8.3f} -> {new_rate:8.3f} "
+                  f"({rate_delta:+6.1f}%)  [{status}]")
+    missing = [name for name in old_scenarios if name not in new_scenarios]
+    if missing:
+        print(f"  baseline scenarios not in this run: {missing}")
+    if regressions:
+        print(f"ERROR: wall-time regression over {regression_pct:.0f}% in: "
+              f"{regressions}")
+    return len(regressions)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -304,6 +383,13 @@ def main(argv=None) -> int:
                              "file instead of replacing it")
     parser.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list scenario names and cycle counts, then exit")
+    parser.add_argument("--compare", metavar="OLD.json", default=None,
+                        help="diff this run against a previous report; exit "
+                             "nonzero on wall-time regression beyond "
+                             "--regression-pct")
+    parser.add_argument("--regression-pct", type=float, default=20.0,
+                        help="wall-time regression tolerance for --compare "
+                             "(percent, default 20)")
     args = parser.parse_args(argv)
     if args.list_scenarios:
         for name in SCENARIOS:
@@ -339,6 +425,11 @@ def main(argv=None) -> int:
     if mismatches:
         print(f"ERROR: result mismatch between engine modes in: {mismatches}")
         return 1
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        if compare_reports(report, baseline, args.regression_pct):
+            return 1
     return 0
 
 

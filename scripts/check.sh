@@ -43,8 +43,13 @@ EOF
 quick_json="$(mktemp /tmp/bench_quick.XXXXXX.json)"
 trap 'rm -f "$quick_json"' EXIT
 
-echo "== perf smoke (benchmarks/perf/run_perf.py --quick) =="
-python benchmarks/perf/run_perf.py --quick --output "$quick_json"
+echo "== perf smoke (benchmarks/perf/run_perf.py --quick --compare) =="
+# The quick tier gates against the tracked full-run baseline: wall times are
+# not comparable across regimes, so --compare gates the deterministic
+# events-per-cycle rate (and absolute events for constant-event scenarios).
+# A >20% jump means the engine stopped batching/sleeping somewhere.
+python benchmarks/perf/run_perf.py --quick --output "$quick_json" \
+    --compare BENCH_PERF.json
 
 echo "== perf floors =="
 python - "$quick_json" <<'EOF'
@@ -78,10 +83,14 @@ echo "== BENCH_PERF.json staleness =="
 # src/repro/analysis is included because the builder's deadlock check runs
 # the channel-dependency analysis on that same timed path; src/repro/faults
 # because its hooks sit on the link/kernel/shell hot paths even when no
-# fault is declared.
+# fault is declared; src/repro/config because the slot allocation policy
+# (spread vs contiguous) decides the burst shapes the batched pipeline can
+# form, which directly moves the saturated_* numbers; src/repro/sim covers
+# the batching primitives (sim/batching.py), clock fusion (sim/clock.py)
+# and the columnar stats layer (sim/stats.py).
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
               src/repro/design src/repro/ip src/repro/mem src/repro/analysis
-              src/repro/faults
+              src/repro/faults src/repro/config
               src/repro/testbench.py benchmarks/perf/run_perf.py)
 if git rev-parse --git-dir >/dev/null 2>&1; then
   stale=""

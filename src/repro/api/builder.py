@@ -495,6 +495,7 @@ class SystemBuilder:
         self._custom_topo: Optional[Topology] = None
         self._num_slots = 8
         self._be_buffer_flits = 8
+        self._slot_policy = "spread"
         self._routing: Union[str, RoutingStrategy] = "auto"
         #: True once the user chose a strategy explicitly (routing() or a
         #: topology method's routing=); topology defaults then never
@@ -634,6 +635,21 @@ class SystemBuilder:
         """
         self._routing = strategy
         self._routing_explicit = True
+        return self
+
+    def slot_policy(self, policy: str) -> "SystemBuilder":
+        """Set the TDMA slot allocation policy.
+
+        ``"spread"`` (default) spaces each channel's slots evenly over the
+        table, minimizing injection jitter; ``"contiguous"`` reserves
+        consecutive runs, letting the NI packetize one header per run
+        (longer packets, lower header overhead) and the batched pipeline
+        forward whole bursts.  Falls back per channel to the spread choice
+        when no long-enough contiguous run is free.
+        """
+        if policy not in ("spread", "contiguous"):
+            raise BuilderError(f"unknown slot policy {policy!r}")
+        self._slot_policy = policy
         return self
 
     # -------------------------------------------------------------- options
@@ -1268,8 +1284,18 @@ class SystemBuilder:
                 allocator=model.allocator, connections=connections,
                 masters=master_handles,
                 deadlock_check=self._deadlock_check)
-            model.noc.flit_clock.add_component(
-                FaultInjector(fault_manager, self._fault_plan))
+            injector = FaultInjector(fault_manager, self._fault_plan)
+            model.noc.flit_clock.add_component(injector)
+            # Batched bursts must fully drain before any scheduled fault
+            # event applies: hand every kernel the injector's barrier so
+            # burst formation truncates at the event horizon.
+            for kernel in model.kernels.values():
+                kernel.burst_barrier = injector.barrier
+
+        # Per-link flits/cycle sliding-window meters feeding
+        # ``System.health_report()["links"]``.
+        for link in model.noc.links.values():
+            link.attach_meter()
 
         return System(model=model, masters=master_handles,
                       memories=memory_handles, connections=connections,
@@ -1397,6 +1423,7 @@ class SystemBuilder:
                        num_slots=self._num_slots,
                        be_buffer_flits=self._be_buffer_flits,
                        routing=self._routing,
+                       slot_policy=self._slot_policy,
                        topology_params=dict(params), nis=ni_specs)
 
     def _attach_master(self, model: SystemModel, decl: _MasterDecl,

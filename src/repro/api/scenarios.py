@@ -179,10 +179,12 @@ def _gt_be_mix(num_gt: int = 1, num_be: int = 1, gt_slots: int = 2,
                gt_pattern_period: int = 12, be_pattern_period: int = 6,
                burst_words: int = 4,
                port_clock_mhz: float = DEFAULT_PORT_CLOCK_MHZ,
-               posted_writes: bool = True) -> System:
+               posted_writes: bool = True,
+               slot_policy: str = "spread") -> System:
     if num_gt < 0 or num_be < 0 or num_gt + num_be == 0:
         raise ValueError("need at least one traffic pair")
-    builder = SystemBuilder("mix_tb").mesh(1, 2, num_slots=num_slots)
+    builder = (SystemBuilder("mix_tb").mesh(1, 2, num_slots=num_slots)
+               .slot_policy(slot_policy))
     for index in range(num_gt + num_be):
         gt = index < num_gt
         master_ni, slave_ni = f"m{index}", f"s{index}"
@@ -649,10 +651,12 @@ def _idle_mesh(rows: int = 4, cols: int = 4,
 #: shared with the functional ``gt_be_mix`` scenario.
 register("saturated_mix", _gt_be_mix,
          description="The E10 GT+BE mix at saturating injection rates "
-                     "(perf-suite shape of gt_be_mix).",
+                     "(perf-suite shape of gt_be_mix; contiguous slot "
+                     "runs so GT traffic packetizes and travels as bursts).",
          tags=("perf",),
          num_gt=2, num_be=2, gt_slots=2,
-         gt_pattern_period=8, be_pattern_period=4, burst_words=4)
+         gt_pattern_period=8, be_pattern_period=4, burst_words=4,
+         slot_policy="contiguous")
 
 
 @scenario("saturated_dram",
@@ -693,7 +697,8 @@ def _saturated_dram(num_masters: int = 3, period_cycles: int = 4,
                       "(perf-suite shape of the torus routing hot path).",
           tags=("perf", "topology"))
 def _saturated_torus(rows: int = 4, cols: int = 4) -> System:
-    builder = SystemBuilder("saturated_torus").torus(rows, cols)
+    builder = (SystemBuilder("saturated_torus").torus(rows, cols)
+               .slot_policy("contiguous"))
     for r in range(rows):
         gt = r % 2 == 0
         master, slave = f"m{r}", f"s{r}"
@@ -826,7 +831,8 @@ def _gt_degraded(fail_cycle: int = 80, max_transactions: int = 40,
           tags=("perf",))
 def _saturated_grid(rows: int = 6, cols: int = 6) -> System:
     arbiters = ("round_robin", "weighted_round_robin", "queue_fill")
-    builder = SystemBuilder("saturated_grid").mesh(rows, cols)
+    builder = (SystemBuilder("saturated_grid").mesh(rows, cols)
+               .slot_policy("contiguous"))
     index = 0
     for row in range(rows):
         gt = row % 2 == 0

@@ -57,12 +57,29 @@ def evenly_spaced_slots(num_slots: int, count: int,
 
 
 class CentralizedSlotAllocator:
-    """Global (per-link) slot bookkeeping and greedy allocation."""
+    """Global (per-link) slot bookkeeping and greedy allocation.
 
-    def __init__(self, num_slots: int) -> None:
+    ``policy`` selects how the required slots are picked from the
+    compatible candidates:
+
+    * ``"spread"`` (default) — as evenly spaced as possible, which
+      minimizes injection jitter (each packet is one flit, sent the cycle
+      its slot comes up);
+    * ``"contiguous"`` — as one run of consecutive slots when available.
+      Consecutive slots let the NI packetize one header for the whole run
+      (``FLIT_WORDS * run - 1`` payload words), cutting header overhead,
+      and are what the batched flit pipeline forwards as single bursts.
+      Falls back to the spread choice when no long-enough run is free.
+    """
+
+    def __init__(self, num_slots: int, policy: str = "spread") -> None:
         if num_slots <= 0:
             raise SlotAllocationError("slot table size must be positive")
+        if policy not in ("spread", "contiguous"):
+            raise SlotAllocationError(
+                f"unknown slot allocation policy {policy!r}")
         self.num_slots = num_slots
+        self.policy = policy
         self._link_tables: Dict[LinkId, SlotTable] = {}
         self._allocations: Dict[Tuple[str, int], "Allocation"] = {}
 
@@ -113,7 +130,12 @@ class CentralizedSlotAllocator:
             raise SlotAllocationError(
                 f"cannot reserve {request.slots_required} slots for channel "
                 f"{request.owner}: only {len(candidates)} compatible slots left")
-        chosen = self._pick_spread(candidates, request.slots_required)
+        if self.policy == "contiguous":
+            chosen = self._pick_contiguous(candidates, request.slots_required)
+            if chosen is None:
+                chosen = self._pick_spread(candidates, request.slots_required)
+        else:
+            chosen = self._pick_spread(candidates, request.slots_required)
         for slot in chosen:
             self._reserve(request, slot)
         allocation = Allocation(request=request, injection_slots=chosen)
@@ -140,6 +162,20 @@ class CentralizedSlotAllocator:
         for hop, link_id in enumerate(request.link_ids):
             link_slot = (slot + hop) % self.num_slots
             self.link_table(link_id).reserve(link_slot, request.owner)
+
+    def _pick_contiguous(self, candidates: Sequence[int],
+                         count: int) -> Optional[List[int]]:
+        """A run of ``count`` consecutive candidate slots (wrapping), or None.
+
+        Among all such runs, the one starting at the lowest slot index is
+        chosen (deterministic across runs).
+        """
+        free = set(candidates)
+        num_slots = self.num_slots
+        for start in sorted(free):
+            if all((start + i) % num_slots in free for i in range(count)):
+                return sorted((start + i) % num_slots for i in range(count))
+        return None
 
     def _pick_spread(self, candidates: Sequence[int], count: int) -> List[int]:
         """Pick ``count`` candidates as evenly spaced as possible (low jitter)."""

@@ -59,6 +59,7 @@ from repro.network.packet import (
     packet_to_flits,
 )
 from repro.network.slot_table import SlotTable
+from repro.sim.batching import NO_BARRIER, batching_default, burst_cap
 from repro.sim.clock import ClockedComponent
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
@@ -101,6 +102,28 @@ class NIKernel(ClockedComponent):
         self._gt_flits: Deque[Flit] = deque()
         self._be_flits: Deque[Flit] = deque()
         self._cycle = 0
+        # ------------------------------------------------------- batching
+        #: Captured process-wide default (repro.sim.batching): when True the
+        #: kernel moves whole packet bursts per event; when False it runs
+        #: the per-flit reference pipeline.  Both produce identical results.
+        self._batching = batching_default()
+        #: Maximum burst length; longer packets split into burst + per-flit
+        #: remainder (property tests sweep this boundary).
+        self._burst_cap = burst_cap()
+        #: Next scheduled fault-event cycle (shared, mutable); bursts must
+        #: fully drain before it.  Installed by the system builder when a
+        #: fault plan exists.
+        self.burst_barrier = NO_BARRIER
+        #: End cycle of the current bounded run (shared, mutable; installed
+        #: by ``SystemModel``): no burst may straddle a run boundary, so
+        #: counter totals at every observation point equal the per-flit
+        #: pipeline's.
+        self._stop_barrier = NO_BARRIER
+        #: First cycle a new transmit decision is due: while a burst's
+        #: flits stream mechanically, the scheduler has nothing to decide
+        #: (exactly the cycles the per-flit path spent in its continuation
+        #: branches).
+        self._tx_busy_until = 0
         # ------------------------------------------------------- hot path
         # (see PERFORMANCE.md "hot path": invariants a ClockedComponent
         # author must preserve when touching any of this state)
@@ -290,9 +313,15 @@ class NIKernel(ClockedComponent):
 
     # --------------------------------------------------------------- receive
     def _receive(self, cycle: int) -> None:
-        if self.from_network is None:
+        link = self.from_network
+        if link is None:
             return
-        flit = self.from_network.take()
+        burst = link._staged_burst
+        if burst is not None:
+            link._staged_burst = None
+            self._receive_burst(burst, cycle)
+            return
+        flit = link.take()
         if flit is None:
             return
         packet = flit.packet
@@ -305,7 +334,7 @@ class NIKernel(ClockedComponent):
             credits = packet.header.credits
             if credits:
                 channel.add_space(credits)
-                self._ctr_credits_received.increment(credits)
+                self._ctr_credits_received.value += credits
         words = self._flit_payload(flit)
         for word in words:
             if not channel.dest_queue.can_push():
@@ -315,8 +344,8 @@ class NIKernel(ClockedComponent):
             # dest_queue.on_push wakes the IP-side reader's clock domain.
             channel.dest_queue.push(word)
         if words:
-            self._ctr_words_received.increment(len(words))
-            channel._ctr_words_received.increment(len(words))
+            self._ctr_words_received.value += len(words)
+            channel._ctr_words_received.value += len(words)
             if packet.poisoned:
                 # A faulty link corrupted this packet: the words are
                 # delivered (framing stays intact) but flagged so the
@@ -324,13 +353,73 @@ class NIKernel(ClockedComponent):
                 channel.note_poisoned_words(len(words))
         if flit.is_tail:
             packet.delivered_cycle = cycle
-            self._ctr_packets_received.increment()
+            self._ctr_packets_received.value += 1
             if packet.injected_cycle is not None:
                 self._lat_network.record(packet.injected_cycle, cycle)
         if flit.is_gt:
-            self._ctr_gt_flits_received.increment()
+            self._ctr_gt_flits_received.value += 1
         else:
-            self._ctr_be_flits_received.increment()
+            self._ctr_be_flits_received.value += 1
+
+    def _receive_burst(self, burst: List[Flit], cycle: int) -> None:
+        """Depacketize a whole GT burst in one event.
+
+        Word visibility stays flit-exact: flit ``j`` of the burst arrives at
+        ``cycle + j``, so its words enter the destination queue dated
+        ``now + j*flit_period + cdc`` — readers observe the identical word
+        stream the per-flit pipeline delivers, just with the kernel-side
+        events collapsed.  Credits post at the head (their real cycle);
+        tail bookkeeping uses the tail's real arrival cycle.
+        """
+        head = burst[0]
+        packet = head.packet
+        qid = packet.header.remote_qid
+        if qid >= len(self.channels):
+            raise RegisterError(
+                f"{self.name}: packet addressed to unknown queue {qid}")
+        channel = self.channels[qid]
+        credits = packet.header.credits
+        if credits:
+            channel.add_space(credits)
+            self._ctr_credits_received.value += credits
+        count = len(burst)
+        nwords = -1  # the head flit's first word is the header
+        for flit in burst:
+            nwords += flit.num_words
+        if nwords:
+            dest = channel.dest_queue
+            if not dest.can_push(nwords):
+                raise FlowControlError(
+                    f"{self.name}: destination queue of channel {qid} "
+                    f"overflowed (end-to-end flow control violated)")
+            # Burst flits cover a contiguous payload prefix (only a
+            # packet's last flit can be short, and a split burst is always
+            # a head-aligned prefix of the packet).
+            words = packet.payload[:nwords]
+            now = self.sim.now
+            period = self.flit_period_ps
+            cdc = dest.cdc_delay_ps
+            pairs = []
+            append = pairs.append
+            index = 0
+            for j, flit in enumerate(burst):
+                n = flit.num_words - 1 if j == 0 else flit.num_words
+                visible = now + j * period + cdc
+                for _ in range(n):
+                    append((visible, words[index]))
+                    index += 1
+            dest.push_run(pairs)
+            self._ctr_words_received.value += nwords
+            channel._ctr_words_received.value += nwords
+            if packet.poisoned:
+                channel.note_poisoned_words(nwords)
+        if burst[count - 1].is_tail:
+            tail_cycle = cycle + count - 1
+            packet.delivered_cycle = tail_cycle
+            self._ctr_packets_received.value += 1
+            if packet.injected_cycle is not None:
+                self._lat_network.record(packet.injected_cycle, tail_cycle)
+        self._ctr_gt_flits_received.value += count
 
     @staticmethod
     def _flit_payload(flit: Flit) -> List[int]:
@@ -344,17 +433,46 @@ class NIKernel(ClockedComponent):
     def _transmit(self, cycle: int) -> None:
         if self.to_network is None:
             return
+        if cycle < self._tx_busy_until:
+            # A previously sent burst's flits are streaming mechanically;
+            # the per-flit pipeline would spend these cycles in its
+            # continuation branches with no new decision (and no counter
+            # the batched path has not already accounted).
+            return
         slot = cycle % self.num_slots
         if self._transmit_gt(cycle, slot):
             return
         self._transmit_be(cycle)
+
+    def _burst_length(self, cycle: int, nflits: int, path_len: int) -> int:
+        """Flits of a freshly formed packet that may travel as one burst.
+
+        Truncation invariants (PERFORMANCE.md "Burst-granularity
+        simulation"): the burst cap splits the packet, an armed/enabled
+        tracer forces per-flit fallback, and a scheduled fault event
+        truncates so the burst fully drains every hop strictly before the
+        event applies.
+        """
+        if not self._batching or self.tracer.enabled:
+            return 1
+        length = nflits
+        if self._burst_cap < length:
+            length = self._burst_cap
+        barrier = self.burst_barrier.cycle
+        stop = self._stop_barrier.cycle
+        if stop < barrier:
+            barrier = stop
+        allowance = barrier - cycle - path_len - 2
+        if allowance < length:
+            length = allowance
+        return length
 
     def _transmit_gt(self, cycle: int, slot: int) -> bool:
         # Continue an in-flight GT packet: its length was bounded by the
         # consecutive slots reserved for the channel, so the slot is ours.
         if self._gt_flits:
             self.to_network.send(self._gt_flits.popleft())
-            self._ctr_gt_flits_sent.increment()
+            self._ctr_gt_flits_sent.value += 1
             return True
         if self._slot_cache_version != self.slot_table.version:
             self._refresh_slot_cache()
@@ -364,26 +482,39 @@ class NIKernel(ClockedComponent):
         channel = self.channels[owner]
         if not channel.regs.gt or not channel.eligible():
             # The reserved slot goes unused by GT; BE may claim it.
-            self._ctr_gt_slots_unused.increment()
+            self._ctr_gt_slots_unused.value += 1
             return False
         run = self._slot_runs[slot]
         packet = self._form_packet(channel, gt=True, cycle=cycle,
                                    max_payload=min(self.max_packet_words,
                                                    FLIT_WORDS * run - 1))
         flits = packet_to_flits(packet)
+        nflits = len(flits)
+        if nflits > 1:
+            length = self._burst_length(cycle, nflits,
+                                        len(packet.header.path))
+            if length >= 2:
+                self.to_network.send_burst(
+                    flits if length == nflits else flits[:length], cycle)
+                self._tx_busy_until = cycle + length
+                if length < nflits:
+                    self._gt_flits.extend(flits[length:])
+                self._ctr_gt_flits_sent.value += length
+                self._ctr_gt_packets_sent.value += 1
+                return True
         self.to_network.send(flits[0])
         self._gt_flits.extend(flits[1:])
-        self._ctr_gt_flits_sent.increment()
-        self._ctr_gt_packets_sent.increment()
+        self._ctr_gt_flits_sent.value += 1
+        self._ctr_gt_packets_sent.value += 1
         return True
 
     def _transmit_be(self, cycle: int) -> None:
         if self._be_flits:
             if self.to_network.can_send_be():
                 self.to_network.send(self._be_flits.popleft())
-                self._ctr_be_flits_sent.increment()
+                self._ctr_be_flits_sent.value += 1
             else:
-                self._ctr_be_stalls.increment()
+                self._ctr_be_stalls.value += 1
             return
         ready = self._be_ready
         if not ready:
@@ -413,7 +544,7 @@ class NIKernel(ClockedComponent):
         if not eligible:
             return
         if not self.to_network.can_send_be():
-            self._ctr_be_stalls.increment()
+            self._ctr_be_stalls.value += 1
             return
         choice = self.be_arbiter.select(eligible, channels)
         if choice is None:
@@ -422,10 +553,40 @@ class NIKernel(ClockedComponent):
         packet = self._form_packet(channel, gt=False, cycle=cycle,
                                    max_payload=self.max_packet_words)
         flits = packet_to_flits(packet)
+        nflits = len(flits)
+        if nflits > 1:
+            length = self._burst_length(cycle, nflits,
+                                        len(packet.header.path))
+            if length >= 2:
+                # BE bursts additionally stop at link credit exhaustion
+                # (space for the whole run must exist up front — it can
+                # only grow while this single source streams) and at the
+                # first reserved TDM slot in the window, where the per-flit
+                # scheduler could have preempted (or counted an unused
+                # slot).  The slot cache is fresh: _transmit_gt just ran.
+                capacity = self.to_network.be_send_capacity()
+                if capacity < length:
+                    length = capacity
+                owners = self._slot_owners
+                num_slots = self.num_slots
+                limit = 1
+                while (limit < length
+                       and owners[(cycle + limit) % num_slots] is None):
+                    limit += 1
+                length = limit
+            if length >= 2:
+                self.to_network.send_burst(
+                    flits if length == nflits else flits[:length], cycle)
+                self._tx_busy_until = cycle + length
+                if length < nflits:
+                    self._be_flits.extend(flits[length:])
+                self._ctr_be_flits_sent.value += length
+                self._ctr_be_packets_sent.value += 1
+                return
         self.to_network.send(flits[0])
         self._be_flits.extend(flits[1:])
-        self._ctr_be_flits_sent.increment()
-        self._ctr_be_packets_sent.increment()
+        self._ctr_be_flits_sent.value += 1
+        self._ctr_be_packets_sent.value += 1
 
     def _refresh_slot_cache(self) -> None:
         """Rebuild the slot->owner and slot->run caches from the slot table.
@@ -434,20 +595,9 @@ class NIKernel(ClockedComponent):
         so the per-cycle GT path reads two flat lists instead of calling
         ``owner()`` and re-deriving the consecutive-slot run every packet.
         """
-        entries = self.slot_table.entries()
-        num_slots = self.num_slots
-        runs = self._slot_runs
-        for slot in range(num_slots):
-            owner = entries[slot]
-            run = 0
-            if owner is not None:
-                for offset in range(num_slots):
-                    if entries[(slot + offset) % num_slots] == owner:
-                        run += 1
-                    else:
-                        break
-            runs[slot] = max(run, 1)
-        self._slot_owners = entries
+        owners, runs = self.slot_table.owner_runs()
+        self._slot_owners = owners
+        self._slot_runs[:] = runs
         self._slot_cache_version = self.slot_table.version
 
     def _consecutive_slots(self, owner: int, start_slot: int) -> int:
@@ -481,13 +631,13 @@ class NIKernel(ClockedComponent):
                               channel_key=(self.name, channel.index))
         packet = Packet(header, payload, injected_cycle=cycle)
         channel.note_words_sent(len(payload))
-        channel._ctr_words_sent.increment(len(payload))
-        channel._ctr_packets_sent.increment()
-        channel._ctr_credits_sent.increment(credits)
-        self._ctr_words_sent.increment(len(payload))
-        self._ctr_credits_sent.increment(credits)
+        channel._ctr_words_sent.value += len(payload)
+        channel._ctr_packets_sent.value += 1
+        channel._ctr_credits_sent.value += credits
+        self._ctr_words_sent.value += len(payload)
+        self._ctr_credits_sent.value += credits
         if not payload:
-            self._ctr_credit_only_packets.increment()
+            self._ctr_credit_only_packets.value += 1
         self._hist_payload_words.add(len(payload))
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, self.name, "packet_formed",

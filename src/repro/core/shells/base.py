@@ -63,9 +63,11 @@ class ConnectionShell(ClockedComponent):
         self.stats = StatsRegistry()
         #: Global transmit stream: (conns, remaining words) per message.
         self._tx_queue: Deque[Tuple[Tuple[int, ...], List[int]]] = deque()
-        #: Per-connection receive reassembly state.
-        self._rx_partial: Dict[int, List[int]] = {}
-        self._rx_expected: Dict[int, Optional[int]] = {}
+        #: Per-connection receive reassembly state, indexed by connection
+        #: (flat lists — the per-word dict lookups were measurable).
+        self._rx_partial: List[List[int]] = [
+            [] for _ in range(port.num_connections)]
+        self._rx_expected: List[Optional[int]] = [None] * port.num_connections
         #: Fully reassembled messages ready for the adapter above.
         self._rx_ready: Deque[Tuple[Message, int]] = deque()
         self._rx_current_conn: Optional[int] = None
@@ -88,10 +90,15 @@ class ConnectionShell(ClockedComponent):
         self._ctr_messages_sent = stats.counter("messages_sent")
         self._ctr_rx_words = stats.counter("rx_words")
         self._ctr_messages_received = stats.counter("messages_received")
+        #: True while a destination queue may hold (or grow) readable words;
+        #: set by the rx stimulus below, cleared by ``_collect_rx`` once all
+        #: queues are drained.  Lets ``tick`` skip the receive scan on
+        #: transmit-only cycles.
+        self._rx_maybe = False
         # Wake this shell's clock whenever the kernel deposits words in any
         # destination queue this shell reads (activity-driven scheduling).
         for channel in self._conn_channels:
-            channel.add_rx_listener(self.notify_active)
+            channel.add_rx_listener(self._rx_stimulus)
 
     # ----------------------------------------------------------- upward API
     def can_submit(self) -> bool:
@@ -108,7 +115,7 @@ class ConnectionShell(ClockedComponent):
             self.port.channel_index(c)  # bounds check
         self._tx_queue.append((conns, list(message.to_words())))
         self._on_submitted(message, conns)
-        self._ctr_messages_submitted.increment()
+        self._ctr_messages_submitted.value += 1
         self.notify_active()
         return True
 
@@ -126,7 +133,7 @@ class ConnectionShell(ClockedComponent):
 
     def idle(self) -> bool:
         return (not self._tx_queue and not self._rx_ready
-                and not any(self._rx_partial.values()))
+                and not any(self._rx_partial))
 
     def is_idle(self) -> bool:
         """Activity predicate for idle-skip.
@@ -138,7 +145,7 @@ class ConnectionShell(ClockedComponent):
         """
         if self._tx_queue or self._rx_ready:
             return False
-        for buffer in self._rx_partial.values():
+        for buffer in self._rx_partial:
             if buffer:
                 return False
         for channel in self._conn_channels:
@@ -169,8 +176,15 @@ class ConnectionShell(ClockedComponent):
 
     # ----------------------------------------------------------------- clock
     def tick(self, cycle: int) -> None:
-        self._stream_tx(cycle)
-        self._collect_rx(cycle)
+        if self._tx_queue:
+            self._stream_tx(cycle)
+        if self._rx_maybe:
+            self._collect_rx(cycle)
+
+    def _rx_stimulus(self) -> None:
+        """Kernel deposited destination-queue words: re-enable the rx scan."""
+        self._rx_maybe = True
+        self.notify_active()
 
     # -------------------------------------------------------------- internal
     def _stream_tx(self, cycle: int) -> None:
@@ -185,7 +199,7 @@ class ConnectionShell(ClockedComponent):
             if len(conns) == 1:
                 queue = channels[conns[0]].source_queue
                 if not queue.can_push():
-                    self._ctr_tx_stalls.increment()
+                    self._ctr_tx_stalls.value += 1
                     break
                 queue.push(words.pop(0))
             else:
@@ -197,16 +211,16 @@ class ConnectionShell(ClockedComponent):
                         stalled = True
                         break
                 if stalled:
-                    self._ctr_tx_stalls.increment()
+                    self._ctr_tx_stalls.value += 1
                     break
                 word = words.pop(0)
                 for c in conns:
                     channels[c].source_queue.push(word)
-            self._ctr_tx_words.increment()
+            self._ctr_tx_words.value += 1
             budget -= 1
             if not words:
                 tx_queue.popleft()
-                self._ctr_messages_sent.increment()
+                self._ctr_messages_sent.value += 1
 
     def _collect_rx(self, cycle: int) -> None:
         budget = self.rx_words_per_cycle
@@ -214,6 +228,12 @@ class ConnectionShell(ClockedComponent):
         while budget > 0:
             conn = self._pick_rx_conn()
             if conn is None:
+                # Nothing readable now.  Words still crossing the clock
+                # boundary (total_fill > 0) become readable purely through
+                # time, so the flag must stay set until queues truly drain.
+                if not any(channel.dest_queue.total_fill
+                           for channel in channels):
+                    self._rx_maybe = False
                 return
             # Popping a word is the moment the IP consumes data: return a
             # credit to the remote producer (same semantics as NIPort.pop).
@@ -222,11 +242,11 @@ class ConnectionShell(ClockedComponent):
             channel.add_credit(1)
             if channel.poison_intervals and channel.rx_word_poisoned():
                 self._rx_poisoned.add(conn)
-            buffer = self._rx_partial.setdefault(conn, [])
+            buffer = self._rx_partial[conn]
             buffer.append(word)
-            if self._rx_expected.get(conn) is None:
+            if self._rx_expected[conn] is None:
                 self._rx_expected[conn] = self._words_expected(word)
-            self._ctr_rx_words.increment()
+            self._ctr_rx_words.value += 1
             budget -= 1
             expected = self._rx_expected[conn]
             if expected is not None and len(buffer) >= expected:
@@ -247,7 +267,7 @@ class ConnectionShell(ClockedComponent):
                                            conn=conn, words=len(words))
                     continue
                 message = self._parse(words)
-                self._ctr_messages_received.increment()
+                self._ctr_messages_received.value += 1
                 if self.tracer.enabled:
                     self.tracer.record(self._now_ps(), self.name,
                                        "message_received",
@@ -258,7 +278,7 @@ class ConnectionShell(ClockedComponent):
         channels = self._conn_channels
         current = self._rx_current_conn
         # Finish the message currently being reassembled before switching.
-        if current is not None and self._rx_partial.get(current):
+        if current is not None and self._rx_partial[current]:
             if channels[current].dest_queue.fill:
                 return current
             return None

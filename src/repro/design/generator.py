@@ -20,7 +20,8 @@ from repro.core.ni import NetworkInterface
 from repro.design.spec import NISpec, NoCSpec, SpecError
 from repro.network.noc import NoC, NoCBuilder
 from repro.network.topology import Topology, make_topology
-from repro.sim.clock import Clock
+from repro.sim.batching import FAR_FUTURE, BurstBarrier
+from repro.sim.clock import Clock, fuse_clocks
 from repro.sim.engine import Simulator
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -35,6 +36,13 @@ class SystemModel:
     nis: Dict[str, NetworkInterface] = field(default_factory=dict)
     port_clocks: Dict[Tuple[str, str], Clock] = field(default_factory=dict)
     allocator: Optional[CentralizedSlotAllocator] = None
+    #: Run-boundary burst barrier shared by every NI kernel: bounded runs
+    #: (``run_flit_cycles`` / ``run_ns``) publish their stop cycle here so
+    #: no burst is ever in flight when the run ends — observations at run
+    #: boundaries see counter totals identical to the per-flit pipeline.
+    stop_barrier: BurstBarrier = field(default_factory=BurstBarrier)
+    #: True once same-rate clocks were fused into groups (first ``start``).
+    _fused: bool = False
 
     # --------------------------------------------------------------- lookups
     @property
@@ -55,7 +63,16 @@ class SystemModel:
 
     # --------------------------------------------------------------- running
     def start(self) -> None:
-        """Start every clock (idempotent)."""
+        """Start every clock (idempotent).
+
+        On first start, same-rate port clocks are fused into
+        :class:`~repro.sim.clock.ClockGroup` runs — one heap event per
+        timestamp instead of one per clock (identical tick order and
+        results; only engine event counts shrink).
+        """
+        if not self._fused:
+            self._fused = True
+            fuse_clocks([self.noc.flit_clock, *self.port_clocks.values()])
         self.noc.flit_clock.start()
         for clock in self.port_clocks.values():
             clock.start()
@@ -63,11 +80,29 @@ class SystemModel:
     def run_flit_cycles(self, cycles: int) -> None:
         """Run the simulation for ``cycles`` network flit cycles."""
         self.start()
-        self.sim.run_for(cycles * self.noc.flit_clock.period_ps)
+        self._run_bounded(cycles * self.noc.flit_clock.period_ps)
 
     def run_ns(self, nanoseconds: float) -> None:
         self.start()
-        self.sim.run_for(int(nanoseconds * 1000))
+        self._run_bounded(int(nanoseconds * 1000))
+
+    def _run_bounded(self, duration_ps: int) -> None:
+        """Run for a fixed duration with the stop cycle as a burst barrier.
+
+        The last flit edge of the run is ``(until - epoch) // period`` (an
+        edge landing exactly on ``until`` executes), so the first cycle the
+        run will never see is one past that.  Publishing it through
+        :attr:`stop_barrier` makes kernels truncate bursts that could not
+        fully drain inside this run — the trailing cycles go per-flit, and
+        every counter equals the per-flit pipeline's value at the boundary.
+        """
+        clock = self.noc.flit_clock
+        until = self.sim.now + duration_ps
+        self.stop_barrier.cycle = (until - clock._epoch) // clock.period_ps + 1
+        try:
+            self.sim.run_for(duration_ps)
+        finally:
+            self.stop_barrier.cycle = FAR_FUTURE
 
     def functionally_idle(self) -> bool:
         """True when no component can change workload-visible state.
@@ -158,7 +193,9 @@ def build_system(spec: NoCSpec, sim: Optional[Simulator] = None,
     noc = builder.build(sim)
 
     system = SystemModel(spec=spec, sim=sim, noc=noc,
-                         allocator=CentralizedSlotAllocator(spec.num_slots))
+                         allocator=CentralizedSlotAllocator(
+                             spec.num_slots,
+                             policy=getattr(spec, "slot_policy", "spread")))
 
     for ni_spec in spec.nis:
         ni = _build_ni(ni_spec, sim, noc, system)
@@ -173,6 +210,7 @@ def _build_ni(ni_spec: NISpec, sim: Simulator, noc: NoC,
                       max_packet_words=ni_spec.max_packet_words,
                       be_arbiter=ni_spec.be_arbiter,
                       flit_period_ps=noc.flit_clock.period_ps)
+    kernel._stop_barrier = system.stop_barrier
     ni = NetworkInterface(name=ni_spec.name, kernel=kernel)
     for port_spec in ni_spec.ports:
         port_clock = Clock(sim, port_spec.clock_mhz,

@@ -134,6 +134,10 @@ class NoCSpec:
     num_slots: int = 8
     be_buffer_flits: int = 8
     routing: object = "auto"
+    #: TDMA slot allocation policy: ``"spread"`` (even spacing, lowest
+    #: jitter) or ``"contiguous"`` (consecutive runs — longer packets,
+    #: lower header overhead, burst-forwardable).
+    slot_policy: str = "spread"
     topology_params: Dict[str, object] = field(default_factory=dict)
     nis: List[NISpec] = field(default_factory=list)
 

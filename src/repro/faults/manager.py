@@ -103,6 +103,20 @@ class HealthReport:
     duplicates_suppressed: int
     gt_intact: Dict[str, bool]          # GT connection name -> guarantees hold
     deadlock_report: Optional[DeadlockReport]
+    #: Per-link bandwidth snapshot: "src->dst" -> {flits_carried,
+    #: rate_per_cycle (sliding window), window_cycles, total}.
+    links: Dict[str, dict] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.links is None:
+            self.links = {}
+
+    def __getitem__(self, key: str):
+        """Mapping-style access (``health_report()["links"]``)."""
+        try:
+            return getattr(self, key)
+        except AttributeError as exc:
+            raise KeyError(key) from exc
 
     @property
     def healthy(self) -> bool:
@@ -148,6 +162,7 @@ class HealthReport:
             "gt_intact": dict(self.gt_intact),
             "deadlock_free": (self.deadlock_report.ok
                               if self.deadlock_report is not None else True),
+            "links": {name: dict(info) for name, info in self.links.items()},
         }
 
 
@@ -398,7 +413,19 @@ class FaultManager:
             intact = gt_intact.get(channel.connection, True)
             gt_intact[channel.connection] = intact and channel.gt \
                 and channel.degraded is None
+        link_meters: Dict[str, dict] = {}
+        flit_clock = getattr(self.noc, "flit_clock", None)
+        now_cycle = flit_clock._cycle if flit_clock is not None else None
+        for link_id, link in self.noc.links.items():
+            info = {"flits_carried": link.flits_carried}
+            meter = link.meter
+            if meter is not None:
+                info["rate_per_cycle"] = meter.rate(now_cycle)
+                info["window_cycles"] = meter.window
+                info["total"] = meter.total
+            link_meters[f"{link_id[0]}->{link_id[1]}"] = info
         return HealthReport(
+            links=link_meters,
             failed_links=list(self.failed_link_ids),
             repaired_links=list(self.repaired_link_ids),
             rerouted={ch.label: ch.rerouted for ch in self.channels

@@ -35,6 +35,18 @@ class TrafficGeneratorMaster(ClockedComponent):
         self._backlog: Deque[Transaction] = deque()
         self._generated = 0
         self._cycle = 0
+        #: Pattern fast path: cycles strictly below this are guaranteed
+        #: traffic-free (see ``TrafficPattern.next_active_cycle``), so
+        #: ``_generate`` skips the pattern call entirely.
+        self._next_active = 0
+        # Hot-path counters cached as attributes (one registry lookup at
+        # construction, not one per tick); still visible through ``stats``.
+        self._ctr_generated = self.stats.counter("transactions_generated")
+        self._ctr_issued = self.stats.counter("transactions_issued")
+        self._ctr_completed = self.stats.counter("transactions_completed")
+        self._ctr_errors = self.stats.counter("transaction_errors")
+        self._ctr_words_completed = self.stats.counter("words_completed")
+        self._lat = self.stats.latency("latency")
 
     # -------------------------------------------------------------- control
     def issue(self, transaction: Transaction) -> None:
@@ -66,9 +78,12 @@ class TrafficGeneratorMaster(ClockedComponent):
     # ----------------------------------------------------------------- clock
     def tick(self, cycle: int) -> None:
         self._cycle = cycle
-        self._generate(cycle)
-        self._submit(cycle)
-        self._collect(cycle)
+        if cycle >= self._next_active:
+            self._generate(cycle)
+        if self._backlog:
+            self._submit(cycle)
+        if self.shell.uncollected_completions:
+            self._collect(cycle)
 
     def is_idle(self) -> bool:
         """Activity predicate for idle-skip.
@@ -82,20 +97,22 @@ class TrafficGeneratorMaster(ClockedComponent):
         return not self._backlog and self._pattern_exhausted()
 
     def _generate(self, cycle: int) -> None:
-        if self.pattern is None:
+        pattern = self.pattern
+        if pattern is None:
             return
         if self.stop_cycle is not None and cycle >= self.stop_cycle:
             return
         if (self.max_transactions is not None
                 and self._generated >= self.max_transactions):
             return
-        for transaction in self.pattern.transactions_for_cycle(cycle):
+        for transaction in pattern.transactions_for_cycle(cycle):
             if (self.max_transactions is not None
                     and self._generated >= self.max_transactions):
                 break
             self._backlog.append(transaction)
             self._generated += 1
-            self.stats.counter("transactions_generated").increment()
+            self._ctr_generated.increment()
+        self._next_active = pattern.next_active_cycle(cycle + 1)
 
     def _submit(self, cycle: int) -> None:
         while self._backlog and self.shell.can_submit():
@@ -103,19 +120,18 @@ class TrafficGeneratorMaster(ClockedComponent):
             if not self.shell.submit(transaction, cycle=cycle):
                 self._backlog.appendleft(transaction)
                 return
-            self.stats.counter("transactions_issued").increment()
+            self._ctr_issued.increment()
 
     def _collect(self, cycle: int) -> None:
         for transaction in self.shell.poll_completed():
             self.completed.append(transaction)
-            self.stats.counter("transactions_completed").increment()
+            self._ctr_completed.increment()
             if transaction.status == TransactionStatus.ERROR:
-                self.stats.counter("transaction_errors").increment()
+                self._ctr_errors.increment()
             if transaction.latency_cycles is not None:
-                self.stats.latency("latency").record(transaction.issue_cycle,
-                                                     transaction.complete_cycle)
-            self.stats.counter("words_completed").increment(
-                transaction.burst_length)
+                self._lat.record(transaction.issue_cycle,
+                                 transaction.complete_cycle)
+            self._ctr_words_completed.increment(transaction.burst_length)
 
     # ------------------------------------------------------------ reporting
     @property

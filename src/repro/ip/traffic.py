@@ -36,6 +36,18 @@ class TrafficPattern:
         """Average payload words per cycle (used for slot budgeting)."""
         raise NotImplementedError
 
+    def next_active_cycle(self, cycle: int) -> int:
+        """First cycle >= ``cycle`` that may produce traffic.
+
+        A scheduling *hint* for the master's fast path: cycles strictly
+        before the returned value are guaranteed to yield ``NO_TRAFFIC``,
+        so the generator skips the per-cycle pattern call.  The default —
+        correct for any pattern — is ``cycle`` itself (no skipping).
+        Patterns whose ``transactions_for_cycle`` has per-cycle side
+        effects (e.g. drawing from an RNG) must keep the default.
+        """
+        return cycle
+
 
 class ConstantBitRateTraffic(TrafficPattern):
     """A fixed-size transaction every ``period_cycles`` cycles."""
@@ -75,6 +87,12 @@ class ConstantBitRateTraffic(TrafficPattern):
     def expected_words_per_cycle(self) -> float:
         return self.burst_words / self.period_cycles
 
+    def next_active_cycle(self, cycle: int) -> int:
+        if cycle <= self.start_cycle:
+            return self.start_cycle
+        remainder = (cycle - self.start_cycle) % self.period_cycles
+        return cycle if remainder == 0 else cycle + self.period_cycles - remainder
+
 
 class BurstyTraffic(TrafficPattern):
     """On/off traffic: ``burst_transactions`` back to back, then silence."""
@@ -106,6 +124,11 @@ class BurstyTraffic(TrafficPattern):
     def expected_words_per_cycle(self) -> float:
         duty = self.on_cycles / (self.on_cycles + self.off_cycles)
         return duty * self.burst_words
+
+    def next_active_cycle(self, cycle: int) -> int:
+        period = self.on_cycles + self.off_cycles
+        phase = cycle % period
+        return cycle if phase < self.on_cycles else cycle + period - phase
 
 
 class RandomTraffic(TrafficPattern):

@@ -29,7 +29,7 @@ from repro.network.packet import Flit
 from repro.network.slot_table import RouterSlotTable
 from repro.sim.clock import ClockedComponent
 from repro.sim.engine import Simulator
-from repro.sim.stats import StatsRegistry
+from repro.sim.stats import CounterColumn, StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
@@ -43,9 +43,15 @@ class BufferOverflowError(RuntimeError):
 
 @dataclass
 class _InputState:
-    """Per-input-port buffering and wormhole state."""
+    """Per-input-port buffering and wormhole state.
 
-    gt_queue: Deque[Flit] = field(default_factory=deque)
+    ``gt_queue`` entries are either single :class:`Flit` objects or whole
+    bursts (plain ``list`` of flits from one packet, head first) delivered
+    by a batched link; bursts are forwarded in one decision since the slot
+    allocation already guarantees the window.
+    """
+
+    gt_queue: Deque[object] = field(default_factory=deque)
     be_queue: Deque[Flit] = field(default_factory=deque)
     gt_active_output: Optional[int] = None
     be_active_output: Optional[int] = None
@@ -90,6 +96,13 @@ class Router(ClockedComponent):
         self._gt_first_port = [0] * num_ports
         self._gt_conflict_stamp = [-1] * num_ports
         self._tick_stamp = 0
+        # Per-output burst claim windows: a forwarded GT burst owns its
+        # output (and out-link) through cycle ``_gt_out_busy_until[o] - 1``;
+        # BE arbitration skips the output for the window exactly as it
+        # would have skipped the per-cycle GT claims.
+        self._gt_out_busy_until = [0] * num_ports
+        #: Scratch: desired output of each input's BE queue head this cycle.
+        self._be_desired: List[Optional[int]] = [-1] * num_ports
         # Hot counters cached as attributes (one registry lookup at
         # construction, not one per flit); shared with ``self.stats``.
         stats_reg = self.stats
@@ -97,6 +110,12 @@ class Router(ClockedComponent):
         self._ctr_be_flits_in = stats_reg.counter("be_flits_in")
         self._ctr_gt_flits_out = stats_reg.counter("gt_flits_out")
         self._ctr_be_flits_out = stats_reg.counter("be_flits_out")
+        #: Columnar accumulator for the BE arbitration pass: each pass
+        #: records its batch of sends as one column entry, folded into
+        #: ``be_flits_out`` at the pass boundary so observers between
+        #: events always see exact totals while the per-flit inner loop
+        #: stays free of counter-object traffic.
+        self._col_be_flits_out = CounterColumn(self._ctr_be_flits_out)
         self._ctr_gt_conflicts = stats_reg.counter("gt_conflicts")
         self._ctr_be_backpressure = stats_reg.counter("be_backpressure_stalls")
         self._ctr_slot_mismatches = stats_reg.counter(
@@ -132,7 +151,20 @@ class Router(ClockedComponent):
     def tick(self, cycle: int) -> None:
         self._cycle = cycle
         self._accept_incoming(cycle)
-        self._forward(cycle)
+        # One stamp per cycle: claims from earlier cycles never leak into
+        # this cycle's BE availability checks, even when the GT pass is
+        # skipped outright.
+        self._tick_stamp += 1
+        any_gt = any_be = False
+        for state in self._inputs:
+            if state.gt_queue:
+                any_gt = True
+            if state.be_queue:
+                any_be = True
+        if any_gt:
+            self._forward_gt(cycle)
+        if any_be:
+            self._forward_be(cycle)
 
     def is_idle(self) -> bool:
         """Idle when no flit is buffered at any input.
@@ -149,13 +181,25 @@ class Router(ClockedComponent):
     # -------------------------------------------------------------- incoming
     def _accept_incoming(self, cycle: int) -> None:
         for port, link in self._wired_in_links:
-            flit = link.take()
+            burst = link._staged_burst
+            if burst is not None:
+                link._staged_burst = None
+                state = self._inputs[port]
+                state.gt_queue.append(burst)
+                self._ctr_gt_flits_in.value += len(burst)
+                if self.slot_table is not None:
+                    self._check_slot_reservation(port, burst[0], cycle)
+                continue
+            # Inlined link.take(): one attribute read on the (very common)
+            # idle-link path instead of a method call per link per cycle.
+            flit = link._stage
             if flit is None:
                 continue
+            link._stage = None
             state = self._inputs[port]
-            if flit.is_gt:
+            if flit.packet.header.is_gt:
                 state.gt_queue.append(flit)
-                self._ctr_gt_flits_in.increment()
+                self._ctr_gt_flits_in.value += 1
                 if self.slot_table is not None:
                     self._check_slot_reservation(port, flit, cycle)
             else:
@@ -163,7 +207,7 @@ class Router(ClockedComponent):
                     raise BufferOverflowError(
                         f"router {self.name}: BE buffer overflow at input {port}")
                 state.be_queue.append(flit)
-                self._ctr_be_flits_in.increment()
+                self._ctr_be_flits_in.value += 1
 
     def _check_slot_reservation(self, port: int, flit: Flit, cycle: int) -> None:
         """In the distributed model, verify the arriving GT flit owns its slot."""
@@ -173,7 +217,7 @@ class Router(ClockedComponent):
         output = flit.packet.peek_route()
         owner = self.slot_table.owner(output, slot)
         if owner is not None and owner != flit.packet.header.channel_key:
-            self._ctr_slot_mismatches.increment()
+            self._ctr_slot_mismatches.value += 1
             self.tracer.record(self._now_ps(), self.name, "slot_mismatch",
                                slot=slot, output=output,
                                owner=owner,
@@ -185,6 +229,7 @@ class Router(ClockedComponent):
 
     # ------------------------------------------------------------ forwarding
     def _forward(self, cycle: int) -> None:
+        self._tick_stamp += 1
         self._forward_gt(cycle)
         self._forward_be(cycle)
 
@@ -198,33 +243,53 @@ class Router(ClockedComponent):
         the original semantics: counted once per output per cycle, fatal
         under ``strict_gt``, first-requesting (lowest) input wins otherwise.
         """
-        self._tick_stamp += 1
         stamp = self._tick_stamp
         claim = self._gt_claim_stamp
         first = self._gt_first_port
         conflicted = self._gt_conflict_stamp
+        busy = self._gt_out_busy_until
         any_request = False
         for port, state in enumerate(self._inputs):
             if not state.gt_queue:
                 continue
-            flit = state.gt_queue[0]
-            if flit.is_head:
-                output = flit.packet.peek_route()
+            entry = state.gt_queue[0]
+            if type(entry) is list:
+                # A burst always starts at its packet's head flit.
+                output = entry[0].packet.peek_route()
+            elif entry.is_head:
+                output = entry.packet.peek_route()
             else:
                 if state.gt_active_output is None:
                     raise SlotConflictError(
                         f"router {self.name}: GT body flit with no active output")
                 output = state.gt_active_output
+            if busy[output] > cycle:
+                # An earlier burst owns this output's window: with a sound
+                # slot allocation this cannot happen (the window is exactly
+                # the slots the packet owns), so it is the windowed
+                # equivalent of a per-cycle slot conflict.
+                if conflicted[output] != stamp:
+                    conflicted[output] = stamp
+                    self._ctr_gt_conflicts.value += 1
+                    if self.strict_gt:
+                        raise SlotConflictError(
+                            f"router {self.name}: GT burst window conflict on "
+                            f"output {output} in cycle {cycle}")
+                continue
             if claim[output] != stamp:
                 claim[output] = stamp
                 first[output] = port
                 any_request = True
             elif conflicted[output] != stamp:
                 conflicted[output] = stamp
-                self._ctr_gt_conflicts.increment()
+                self._ctr_gt_conflicts.value += 1
                 if self.strict_gt:
-                    keys = [self._inputs[p].gt_queue[0].packet.header.channel_key
-                            for p in (first[output], port)]
+                    keys = []
+                    for p in (first[output], port):
+                        head = self._inputs[p].gt_queue[0]
+                        if type(head) is list:
+                            head = head[0]
+                        keys.append(head.packet.header.channel_key)
                     raise SlotConflictError(
                         f"router {self.name}: GT slot conflict on output "
                         f"{output} in cycle {cycle} between channels {keys}")
@@ -240,14 +305,40 @@ class Router(ClockedComponent):
         Rotating-index scan: instead of materializing a candidates list per
         output per cycle, walk the input ports from the round-robin pointer
         (or pin the scan to the locked input while a packet is in flight).
+        The desired output of each input's queue head is computed once per
+        cycle (``_be_desired``, refreshed after each send) rather than once
+        per (output, input) scan pair — the route peeks were measurable.
         """
         inputs = self._inputs
         num_ports = self.num_ports
         claim = self._gt_claim_stamp
         stamp = self._tick_stamp
+        busy = self._gt_out_busy_until
         locked_by_output = self._be_output_locked_input
+        desired_by_port = self._be_desired
+        any_be = False
+        for port in range(num_ports):
+            state = inputs[port]
+            queue = state.be_queue
+            if not queue:
+                desired_by_port[port] = -1
+                continue
+            flit = queue[0]
+            if flit.is_head:
+                if state.be_active_output is not None:
+                    desired_by_port[port] = -1
+                    continue
+                desired_by_port[port] = flit.packet.peek_route()
+            else:
+                desired_by_port[port] = state.be_active_output
+            any_be = True
+        if not any_be:
+            return
+        sent = 0
         for output in range(num_ports):
             if claim[output] == stamp:       # GT used this output this cycle
+                continue
+            if busy[output] > cycle:         # inside a GT burst's window
                 continue
             link = self.out_links[output]
             if link is None:
@@ -261,27 +352,38 @@ class Router(ClockedComponent):
                 port = start + offset
                 if port >= num_ports:
                     port -= num_ports
-                state = inputs[port]
-                if not state.be_queue:
-                    continue
-                flit = state.be_queue[0]
-                if flit.is_head:
-                    if state.be_active_output is not None:
-                        continue
-                    desired = flit.packet.peek_route()
-                else:
-                    desired = state.be_active_output
-                if desired != output:
+                if desired_by_port[port] != output:
                     continue
                 if not link.can_send_be():
-                    self._ctr_be_backpressure.increment()
+                    self._ctr_be_backpressure.value += 1
                     break
                 self._send_flit(port, output, gt=False, cycle=cycle)
+                sent += 1
+                # The pop may expose a flit for an output scanned later
+                # this cycle (e.g. a fresh head after a tail): refresh.
+                state = inputs[port]
+                queue = state.be_queue
+                if not queue:
+                    desired_by_port[port] = -1
+                else:
+                    head = queue[0]
+                    if head.is_head:
+                        desired_by_port[port] = (
+                            -1 if state.be_active_output is not None
+                            else head.packet.peek_route())
+                    else:
+                        desired_by_port[port] = state.be_active_output
                 if rotate:
                     pointer = port + 1
                     self._be_rr_pointer[output] = (
                         0 if pointer >= num_ports else pointer)
                 break
+        if sent:
+            # Pass boundary (the BE burst boundary): record this pass's
+            # batch in the column and fold it, so between-event observers
+            # see exact ``be_flits_out`` totals.
+            self._col_be_flits_out.append(sent)
+            self._col_be_flits_out.flush()
 
     def _send_flit(self, port: int, output: int, gt: bool, cycle: int) -> None:
         state = self._inputs[port]
@@ -291,6 +393,9 @@ class Router(ClockedComponent):
         if link is None:
             raise SlotConflictError(
                 f"router {self.name}: no link on output {output}")
+        if gt and type(flit) is list:
+            self._send_gt_burst(state, flit, output, link, cycle)
+            return
         if flit.is_head:
             taken = flit.packet.advance_route()
             if taken != output:
@@ -310,9 +415,9 @@ class Router(ClockedComponent):
                 self._be_output_locked_input[output] = None
         link.send(flit)
         if gt:
-            self._ctr_gt_flits_out.increment()
-        else:
-            self._ctr_be_flits_out.increment()
+            self._ctr_gt_flits_out.value += 1
+        # BE sends are tallied by the caller's pass-level column entry
+        # (``_forward_be``) rather than per flit here.
         self._rate_flits_out.add(cycle)
         if self.tracer.enabled:
             self.tracer.record(self._now_ps(), self.name, "forward",
@@ -320,10 +425,44 @@ class Router(ClockedComponent):
                                traffic="gt" if gt else "be",
                                packet=flit.packet.packet_id, flit=flit.index)
 
+    def _send_gt_burst(self, state: _InputState, burst: List[Flit],
+                       output: int, link: Link, cycle: int) -> None:
+        """Forward a whole GT burst: one slot-table consultation, one
+        route advance, one link event, counters bumped per burst."""
+        head = burst[0]
+        taken = head.packet.advance_route()
+        if taken != output:
+            raise SlotConflictError(
+                f"router {self.name}: route mismatch "
+                f"(expected {taken}, forwarding to {output})")
+        count = len(burst)
+        # A burst that does not carry the tail (a capped split) leaves the
+        # wormhole open for the per-flit remainder arriving right behind it.
+        state.gt_active_output = None if burst[count - 1].is_tail else output
+        self._gt_out_busy_until[output] = cycle + count
+        link.send_burst(burst, cycle)
+        self._ctr_gt_flits_out.value += count
+        self._rate_flits_out.add_run(cycle, count)
+        if self.tracer.enabled:
+            # Bursts already in flight when a tracer arms are recorded per
+            # flit at the forwarding decision's timestamp.
+            now_ps = self._now_ps()
+            for flit in burst:
+                self.tracer.record(now_ps, self.name, "forward",
+                                   input=self._inputs.index(state),
+                                   output=output, traffic="gt",
+                                   packet=flit.packet.packet_id,
+                                   flit=flit.index)
+
     # ------------------------------------------------------------- inspection
     def buffered_flits(self) -> int:
         """Total flits buffered in this router (cost metric of [21])."""
-        return sum(len(s.gt_queue) + len(s.be_queue) for s in self._inputs)
+        total = 0
+        for state in self._inputs:
+            for entry in state.gt_queue:
+                total += len(entry) if type(entry) is list else 1
+            total += len(state.be_queue)
+        return total
 
     def be_queue_depth(self, port: int) -> int:
         self._check_port(port)

@@ -102,6 +102,33 @@ class SlotTable:
     def entries(self) -> List[Optional[Hashable]]:
         return list(self._entries)
 
+    def owner_runs(self) -> Tuple[List[Optional[Hashable]], List[int]]:
+        """``(owners, runs)``: each slot's owner and its consecutive run.
+
+        ``runs[s]`` is the number of consecutive slots starting at ``s``
+        (wrapping around the table) held by ``owners[s]``; free slots get a
+        run of 1.  A run bounds how many flits one GT packet injected at
+        slot ``s`` may occupy before the table's ownership changes — the
+        quantity both the NI packetizer and the batched pipeline's
+        burst-length computation need.  Callers cache the result keyed on
+        :attr:`version`.
+        """
+        owners = list(self._entries)
+        size = self.size
+        runs = [1] * size
+        for slot in range(size):
+            owner = owners[slot]
+            if owner is None:
+                continue
+            run = 0
+            for offset in range(size):
+                if owners[(slot + offset) % size] == owner:
+                    run += 1
+                else:
+                    break
+            runs[slot] = max(run, 1)
+        return owners, runs
+
     def copy(self) -> "SlotTable":
         table = SlotTable(self.size)
         table._entries = list(self._entries)

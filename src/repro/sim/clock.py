@@ -171,6 +171,9 @@ class Clock:
         self.edges_executed = 0
         #: Number of times the clock went to sleep.
         self.sleep_count = 0
+        #: Fused scheduling group (see :class:`ClockGroup`); None when this
+        #: clock schedules its own edges.
+        self._group: Optional["ClockGroup"] = None
 
     # ---------------------------------------------------------------- wiring
     def add_component(self, component: ClockedComponent) -> None:
@@ -228,6 +231,9 @@ class Clock:
         """Schedule the first rising edge.  Idempotent."""
         if self._started:
             return
+        if self._group is not None:
+            self._group.start()
+            return
         self._started = True
         self._epoch = max(self.sim.now, self.phase_ps)
         self._sleeping = False
@@ -248,6 +254,9 @@ class Clock:
         if not self._sleeping:
             return
         self._sleeping = False
+        if self._group is not None:
+            self._group._wake(self.sim.now)
+            return
         index = (self.sim.now - self._epoch) // self.period_ps + 1
         self.sim._push(self.edge_time(index), self._tick_priority, self._edge)
 
@@ -292,6 +301,180 @@ class Clock:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "sleeping" if self._sleeping else "running"
         return f"Clock({self.name}, {self.frequency_mhz} MHz, {state})"
+
+
+class ClockGroup:
+    """Fused scheduling for clocks that share a period and phase.
+
+    A system of N same-frequency port clocks pays N heap events (plus up to
+    N commit events) per period even though every edge lands on the same
+    timestamp.  A group fires **one** event per timestamp and ticks its
+    members in sequence — in clock-creation order, which is why members must
+    hold *contiguous* tick priorities: the group event runs at the first
+    member's priority, so interleaving with any non-member clock on a shared
+    timestamp is exactly the unfused order.  (:func:`fuse_clocks` enforces
+    contiguity when forming groups.)
+
+    Per-member semantics are preserved: each member keeps its own
+    ``idle_skip`` flag, ``sleeping`` state, ``sleep_count`` and
+    ``edges_executed`` telemetry; sleeping members are skipped inside the
+    group event (their edges neither execute nor count, as when unfused).
+    The group stops rescheduling only when *every* member sleeps, and any
+    member's :meth:`Clock.wake` resumes it on the next period boundary —
+    the same boundary an unfused wake would have used.
+
+    The one observable difference is telemetry-only: executed-event counts
+    shrink (one event per timestamp instead of one per awake member), which
+    is the point.  Workload-visible state is untouched — ticks and commits
+    run in identical order at identical times.
+    """
+
+    def __init__(self, members: List[Clock]) -> None:
+        if len(members) < 2:
+            raise SimulationError("a clock group needs at least two members")
+        first = members[0]
+        for prev, member in zip(members, members[1:]):
+            if member.sim is not first.sim:
+                raise SimulationError("clock group members share a simulator")
+            if (member.period_ps != first.period_ps
+                    or member.phase_ps != first.phase_ps):
+                raise SimulationError(
+                    f"clock group members must share period and phase "
+                    f"({member.name} vs {first.name})")
+            if member._tick_priority != prev._tick_priority + 1:
+                raise SimulationError(
+                    f"clock group members must hold contiguous tick "
+                    f"priorities ({prev.name} -> {member.name})")
+            if member._started or member._group is not None:
+                raise SimulationError(
+                    f"clock {member.name} cannot join a group after start")
+        if first._started or first._group is not None:
+            raise SimulationError(
+                f"clock {first.name} cannot join a group after start")
+        self.sim = first.sim
+        self.period_ps = first.period_ps
+        self.members = list(members)
+        self._tick_priority = first._tick_priority
+        self._commit_priority = first._commit_priority
+        self._epoch = 0
+        self._started = False
+        #: Time of the pending (scheduled, not yet fired) group edge; wake
+        #: deduplication checks it so at most one edge event is in flight.
+        self._next_scheduled = -1
+        for member in members:
+            member._group = self
+
+    def start(self) -> None:
+        """Start every member and schedule the first group edge.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        epoch = max(self.sim.now, self.members[0].phase_ps)
+        self._epoch = epoch
+        for member in self.members:
+            member._started = True
+            member._epoch = epoch
+            member._sleeping = False
+        self._next_scheduled = epoch
+        self.sim._push(epoch, self._tick_priority, self._edge)
+
+    def _schedule(self, time: int) -> None:
+        if self._next_scheduled >= time:
+            return
+        self._next_scheduled = time
+        self.sim._push(time, self._tick_priority, self._edge)
+
+    def _wake(self, now: int) -> None:
+        """Member wake: fire at the first boundary strictly after ``now``."""
+        index = (now - self._epoch) // self.period_ps + 1
+        self._schedule(self._epoch + index * self.period_ps)
+
+    def _edge(self) -> None:
+        cycle = (self.sim.now - self._epoch) // self.period_ps
+        commit = False
+        for member in self.members:
+            if member._sleeping:
+                continue
+            member._cycle = cycle
+            member.edges_executed += 1
+            for component in member._components:
+                component.tick(cycle)
+            if member._post_tick_components:
+                commit = True
+        if commit:
+            self.sim._push(self.sim.now, self._commit_priority,
+                           self._commit_edge)
+        else:
+            self._after_edge(cycle)
+
+    def _commit_edge(self) -> None:
+        cycle = (self.sim.now - self._epoch) // self.period_ps
+        for member in self.members:
+            # ``_cycle == cycle`` marks the members that ticked this edge
+            # (a member woken mid-timestamp by another's stimulus has not
+            # ticked and must not commit).
+            if member._cycle == cycle and member._post_tick_components:
+                for component in member._post_tick_components:
+                    component.post_tick(cycle)
+        self._after_edge(cycle)
+
+    def _after_edge(self, cycle: int) -> None:
+        """Per-member idleness evaluation, then one reschedule for all."""
+        awake = False
+        for member in self.members:
+            if member._sleeping:
+                continue
+            if member.idle_skip and member._cycle == cycle:
+                for component in member._components:
+                    if not component.is_idle():
+                        break
+                else:
+                    member._sleeping = True
+                    member.sleep_count += 1
+                    continue
+            # Awake — including members woken mid-timestamp, whose next
+            # edge is unconditional exactly as an unfused wake schedules.
+            awake = True
+        if awake:
+            self._schedule(self.sim.now + self.period_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        names = ", ".join(m.name for m in self.members)
+        return f"ClockGroup({self.period_ps} ps: {names})"
+
+
+def fuse_clocks(clocks: List[Clock]) -> List[ClockGroup]:
+    """Partition ``clocks`` into fused :class:`ClockGroup` runs.
+
+    Groups are maximal runs of not-yet-started clocks with equal period and
+    phase holding contiguous tick priorities (creation order with no other
+    clock in between — a gap would let a non-member's edge interleave, so
+    the run splits there).  Runs of one stay unfused.  Clocks already
+    started or already grouped are left alone.  Always-tick clocks
+    (``idle_skip=False``) never fuse: that mode reproduces the seed
+    engine's event schedule, which benchmarks use as the event-count
+    denominator.  Returns the groups formed.
+    """
+    groups: List[ClockGroup] = []
+    run: List[Clock] = []
+
+    def flush() -> None:
+        if len(run) >= 2:
+            groups.append(ClockGroup(list(run)))
+        del run[:]
+
+    for clock in sorted(clocks, key=lambda c: c._tick_priority):
+        if clock._started or clock._group is not None or not clock.idle_skip:
+            flush()
+            continue
+        if run and (clock.sim is not run[-1].sim
+                    or clock.period_ps != run[-1].period_ps
+                    or clock.phase_ps != run[-1].phase_ps
+                    or clock._tick_priority != run[-1]._tick_priority + 1):
+            flush()
+        run.append(clock)
+    flush()
+    return groups
 
 
 def run_cycles(sim: Simulator, clock: Clock, cycles: int) -> None:

@@ -72,6 +72,25 @@ class Tracer:
         self._trigger = None
         self.triggered = True
 
+    def arm_on_counter(self, counter, threshold: int,
+                       registry=None) -> None:
+        """Arm on a counter threshold: retain from the first event recorded
+        once ``counter.value >= threshold``.
+
+        ``counter`` is either a :class:`~repro.sim.stats.Counter` or a
+        counter name looked up in ``registry`` (a
+        :class:`~repro.sim.stats.StatsRegistry`).  The check runs only per
+        recorded event, so the simulation hot path pays nothing new; note
+        that an enabled tracer already forces the per-flit pipeline
+        (bursts are truncated at the arm point — see PERFORMANCE.md).
+        """
+        if isinstance(counter, str):
+            if registry is None:
+                raise ValueError(
+                    "arm_on_counter needs a StatsRegistry when given a name")
+            counter = registry.counter(counter)
+        self.arm(lambda event: counter.value >= threshold)
+
     def record(self, time_ps: int, source: str, kind: str,
                **details: object) -> None:
         if not self.enabled:

@@ -445,3 +445,29 @@ class TestCentralizedConfiguration:
         system.run_until_idle(predicate=system.config_shell.is_idle)
         assert handle.done
         assert system.kernel("ni1").channel(1).regs.enabled
+
+
+class TestSlotPolicy:
+    def test_policy_plumbs_through_to_the_allocator(self):
+        system = (SystemBuilder("sp")
+                  .mesh(1, 2)
+                  .slot_policy("contiguous")
+                  .add_master("m", router=(0, 0))
+                  .add_memory("s", router=(0, 1))
+                  .connect("m", "s", gt=True, slots=3)
+                  .build())
+        assert system.model.allocator.policy == "contiguous"
+        # The GT channels received consecutive injection slots.
+        for slots in system.model.allocator.assignment_map().values():
+            assert slots == list(range(slots[0], slots[0] + len(slots)))
+
+    def test_default_policy_is_spread(self):
+        system = (SystemBuilder("sp").mesh(1, 2)
+                  .add_master("m", router=(0, 0))
+                  .add_memory("s", router=(0, 1))
+                  .connect("m", "s").build())
+        assert system.model.allocator.policy == "spread"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(BuilderError, match="unknown slot policy"):
+            SystemBuilder("sp").slot_policy("zigzag")

@@ -143,3 +143,47 @@ def test_allocations_never_conflict_property(channel_specs):
                 key = (link, (injection_slot + hop) % num_slots)
                 assert key not in usage, f"conflict on {key}"
                 usage[key] = req.owner
+
+
+class TestContiguousPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SlotAllocationError):
+            CentralizedSlotAllocator(8, policy="zigzag")
+
+    def test_contiguous_run_chosen_when_free(self):
+        allocator = CentralizedSlotAllocator(8, policy="contiguous")
+        slots = allocator.allocate(request(slots=3))
+        assert slots == [0, 1, 2]         # lowest-start consecutive run
+
+    def test_second_channel_packs_after_the_first(self):
+        allocator = CentralizedSlotAllocator(8, policy="contiguous")
+        allocator.allocate(request(channel=0, slots=3))
+        slots = allocator.allocate(request(channel=1, slots=2))
+        assert slots == [3, 4]
+
+    def test_wrapping_run_found(self):
+        # Block injection slots 2..5 so the free run 6,7 -> 0,1 wraps; a
+        # 3-slot request must use it (sorted slot indices, wrapped run).
+        allocator = CentralizedSlotAllocator(8, policy="contiguous")
+        l0, l1 = ("l0", "l0'"), ("l1", "l1'")
+        for slot in (2, 3, 4, 5):
+            allocator.link_table(l0).reserve(slot, "blocker")
+            allocator.link_table(l1).reserve((slot + 1) % 8, "blocker")
+        assert allocator.allocate(request(slots=3)) == [0, 6, 7]
+
+    def test_falls_back_to_spread_when_fragmented(self):
+        # Fragment the path so only injection slots 0, 2, 4, 6 remain free
+        # (no two adjacent): a 2-slot request cannot be contiguous and must
+        # fall back to the spread pick.
+        frag = CentralizedSlotAllocator(8, policy="contiguous")
+        l0, l1 = ("l0", "l0'"), ("l1", "l1'")
+        for slot in (1, 3, 5, 7):
+            frag.link_table(l0).reserve(slot, "blocker")
+            frag.link_table(l1).reserve((slot + 1) % 8, "blocker")
+        assert frag.free_injection_slots(request(slots=2)) == [0, 2, 4, 6]
+        assert frag.allocate(request(slots=2)) == [0, 4]
+
+    def test_spread_policy_unchanged_by_default(self):
+        default = CentralizedSlotAllocator(8)
+        assert default.policy == "spread"
+        assert default.allocate(request(slots=2)) == [0, 4]

@@ -146,3 +146,44 @@ class TestRouterSlotTable:
     def test_invalid_dimensions(self):
         with pytest.raises(SlotTableError):
             RouterSlotTable(0, 8)
+
+
+class TestOwnerRuns:
+    def test_free_slots_get_run_of_one(self):
+        table = SlotTable(4)
+        owners, runs = table.owner_runs()
+        assert owners == [None] * 4
+        assert runs == [1, 1, 1, 1]
+
+    def test_runs_count_consecutive_ownership(self):
+        table = SlotTable(8)
+        for slot in (2, 3, 4):
+            table.reserve(slot, "a")
+        table.reserve(6, "b")
+        owners, runs = table.owner_runs()
+        assert owners[2:5] == ["a", "a", "a"]
+        assert runs[2:5] == [3, 2, 1]     # run length from each start slot
+        assert runs[6] == 1
+        assert runs[0] == 1               # free slot
+
+    def test_runs_wrap_around_the_table(self):
+        table = SlotTable(6)
+        for slot in (5, 0, 1):
+            table.reserve(slot, "a")
+        _, runs = table.owner_runs()
+        assert runs[5] == 3               # 5 -> 0 -> 1 wraps
+        assert runs[0] == 2
+        assert runs[1] == 1
+
+    def test_full_table_single_owner_caps_at_size(self):
+        table = SlotTable(4)
+        for slot in range(4):
+            table.reserve(slot, "a")
+        _, runs = table.owner_runs()
+        assert runs == [4, 4, 4, 4]
+
+    def test_matches_entries_snapshot(self):
+        table = SlotTable(5)
+        table.reserve(1, "x")
+        owners, _ = table.owner_runs()
+        assert owners == table.entries()
