@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-quick check examples
+.PHONY: test test-all bench bench-quick check examples lint
 
 test:            ## fast test tier (tier-1 minus slow)
 	$(PYTHON) -m pytest -q -m "not slow"
+
+lint:            ## reprolint static contract checks over src/repro
+	$(PYTHON) -m repro.analysis.lint src/repro --baseline reprolint_baseline.json
 
 examples:        ## run every example as a smoke test
 	@for example in examples/*.py; do \

@@ -14,6 +14,11 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== reprolint (static contract checks) =="
+# AST-level enforcement of the wake-protocol, determinism, hot-path and
+# counter-exactness contracts (PERFORMANCE.md "Static contract checking").
+python -m repro.analysis.lint src/repro --baseline reprolint_baseline.json
+
 echo "== tier-1 tests (fast tier) =="
 python -m pytest -q -m "not slow"
 
@@ -90,8 +95,28 @@ echo "== BENCH_PERF.json staleness =="
 # and the columnar stats layer (sim/stats.py).
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
               src/repro/design src/repro/ip src/repro/mem src/repro/analysis
-              src/repro/faults src/repro/config
+              src/repro/faults src/repro/config src/repro/protocol
+              src/repro/baselines
               src/repro/testbench.py benchmarks/perf/run_perf.py)
+
+# Meta-check: the array above is hand-maintained; fail loudly if a new
+# src/repro subpackage exists that it does not cover, so the staleness gate
+# can never silently ignore fresh engine code.  tests/test_repo_meta.py
+# checks the same invariant from pytest.
+for subpackage in src/repro/*/; do
+  subpackage="${subpackage%/}"
+  [[ "$(basename "$subpackage")" == "__pycache__" ]] && continue
+  covered=no
+  for known in "${ENGINE_PATHS[@]}"; do
+    [[ "$known" == "$subpackage" ]] && covered=yes && break
+  done
+  if [[ "$covered" == no ]]; then
+    echo "  ENGINE_PATHS does not cover $subpackage; add it (or its" >&2
+    echo "  exclusion rationale) to scripts/check.sh" >&2
+    exit 1
+  fi
+done
+
 if git rev-parse --git-dir >/dev/null 2>&1; then
   stale=""
   # Uncommitted engine edits require an uncommitted (fresh) BENCH_PERF.json.

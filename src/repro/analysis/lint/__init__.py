@@ -1,0 +1,49 @@
+"""reprolint: static contract checking for the repro tree.
+
+Public surface:
+
+* :func:`lint_paths` / :func:`lint_source` — run the rule set
+  programmatically (tests lint deliberately broken snippets this way).
+* :class:`LintRule` / :func:`register_rule` — extend the rule registry.
+* :class:`Baseline` — the reviewed-exception file format.
+* ``python -m repro.analysis.lint src/repro`` — the CLI used by
+  ``make lint`` / ``scripts/check.sh`` / CI.
+
+See PERFORMANCE.md ("Static contract checking") for the contract-to-rule
+mapping and suppression etiquette.
+"""
+
+from repro.analysis.lint.baseline import Baseline, BaselineEntry
+from repro.analysis.lint.framework import (
+    LintEngine,
+    LintError,
+    LintReport,
+    LintRule,
+    ModuleUnderLint,
+    Violation,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from repro.analysis.lint.reporters import render, render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "LintEngine",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "ModuleUnderLint",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render",
+    "render_json",
+    "render_text",
+]

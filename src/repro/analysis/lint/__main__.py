@@ -1,0 +1,7 @@
+"""``python -m repro.analysis.lint`` dispatcher."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,154 @@
+"""Reviewed-baseline support for reprolint.
+
+A baseline is the list of *intentional* contract exceptions the tree
+ships with — violations a reviewer looked at and signed off, with a
+reason recorded next to each.  The gate stays strict for new code while
+the reviewed exceptions don't need a suppression comment at every site.
+
+Entries are keyed by ``(path, rule, symbol)`` — the enclosing class or
+function qualname, not a line number — so a baseline survives unrelated
+line drift in the file.  ``count`` bounds how many violations the entry
+absorbs: if a symbol grows an *additional* violation of the same rule,
+the surplus is reported.
+
+File format (JSON, kept at the repo root as ``reprolint_baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "hot-alloc-in-tick",
+         "path": "src/repro/core/shells/multiconnection.py",
+         "symbol": "MultiConnectionShell._rx_conn_candidates",
+         "count": 1,
+         "reason": "sorted() over a handful of connection ids; bounded ..."}
+      ]
+    }
+
+Paths match on suffix, so a baseline written from the repo root still
+matches when reprolint runs from a subdirectory or with absolute paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.lint.framework import LintError, Violation
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    count: int = 1
+    reason: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "symbol": self.symbol,
+                "count": self.count, "reason": self.reason}
+
+
+def _path_matches(entry_path: str, violation_path: str) -> bool:
+    """Suffix match on whole path components."""
+    entry_parts = Path(entry_path).parts
+    violation_parts = Path(violation_path).parts
+    if len(entry_parts) > len(violation_parts):
+        entry_parts, violation_parts = violation_parts, entry_parts
+    return violation_parts[len(violation_parts) - len(entry_parts):] == \
+        tuple(entry_parts)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source_path: Optional[str] = None
+
+    # ----------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise LintError(f"baseline {path} is not a reprolint baseline")
+        version = payload.get("version", _FORMAT_VERSION)
+        if version != _FORMAT_VERSION:
+            raise LintError(
+                f"baseline {path} has unsupported version {version}")
+        entries = []
+        for raw in payload["entries"]:
+            try:
+                entries.append(BaselineEntry(
+                    rule=raw["rule"], path=raw["path"],
+                    symbol=raw.get("symbol", "<module>"),
+                    count=int(raw.get("count", 1)),
+                    reason=raw.get("reason", "")))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise LintError(
+                    f"malformed baseline entry in {path}: {raw!r}") from exc
+        return cls(entries=entries, source_path=str(path))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries, key=BaselineEntry.key)],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation],
+                        reason: str = "baselined at introduction"
+                        ) -> "Baseline":
+        """Build a baseline absorbing exactly the given violations."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for violation in violations:
+            key = (violation.rule_id, violation.path, violation.symbol)
+            counts[key] = counts.get(key, 0) + 1
+        entries = [BaselineEntry(rule=rule, path=path, symbol=symbol,
+                                 count=count, reason=reason)
+                   for (rule, path, symbol), count in counts.items()]
+        return cls(entries=entries)
+
+    # ------------------------------------------------------------ filtering
+    def filter(self, violations: List[Violation]
+               ) -> Tuple[List[Violation], int]:
+        """Split violations into (surviving, matched_count).
+
+        Each entry absorbs up to ``count`` violations with the same rule,
+        a suffix-matching path, and the same symbol.
+        """
+        budget: Dict[int, int] = {
+            index: entry.count for index, entry in enumerate(self.entries)}
+        surviving: List[Violation] = []
+        matched = 0
+        for violation in violations:
+            absorbed = False
+            for index, entry in enumerate(self.entries):
+                if budget[index] <= 0:
+                    continue
+                if entry.rule != violation.rule_id:
+                    continue
+                if entry.symbol != violation.symbol:
+                    continue
+                if not _path_matches(entry.path, violation.path):
+                    continue
+                budget[index] -= 1
+                matched += 1
+                absorbed = True
+                break
+            if not absorbed:
+                surviving.append(violation)
+        return surviving, matched

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro.analysis.lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+The baseline at ``reprolint_baseline.json`` (repo root) is picked up
+automatically when present in the current directory; pass ``--baseline``
+to point elsewhere or ``--no-baseline`` to see the raw findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.framework import LintEngine, LintError, all_rules
+from repro.analysis.lint.reporters import render
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = "reprolint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="reprolint: static contract checker for the repro tree "
+                    "(wake protocol, determinism, hot path, counters)")
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"reviewed-exception baseline (default: ./{DEFAULT_BASELINE} "
+             "when present)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report raw findings")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write the surviving violations out as a new baseline and "
+             "exit 0")
+    parser.add_argument(
+        "--select", metavar="RULE-ID", action="append", default=None,
+        help="run only these rule ids (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(Path(args.baseline))
+    default = Path(DEFAULT_BASELINE)
+    if default.is_file():
+        return Baseline.load(default)
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.list_rules:
+            for rule_id, rule in all_rules().items():
+                print(f"{rule_id:24s} {rule.title}")
+                if rule.contract:
+                    print(f"{'':24s}   contract: {rule.contract}")
+            return 0
+        baseline = _resolve_baseline(args)
+        engine = LintEngine(select=args.select, baseline=baseline)
+        report = engine.run(args.paths)
+        if args.write_baseline is not None:
+            new_baseline = Baseline.from_violations(
+                report.violations,
+                reason="TODO: review and state why the contract holds")
+            new_baseline.save(Path(args.write_baseline))
+            print(f"wrote {len(new_baseline.entries)} baseline entrie(s) "
+                  f"to {args.write_baseline}")
+            return 0
+        print(render(report, args.format))
+        return 0 if report.ok else 1
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

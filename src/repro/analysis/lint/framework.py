@@ -1,0 +1,514 @@
+"""reprolint core: the rule framework behind ``repro.analysis.lint``.
+
+The paper's guaranteed-service model only reproduces correctly because
+every component obeys contracts the runtime enforces *dynamically*: the
+wake()/notify_active() protocol, byte-identical determinism across engine
+modes, the hot-path authoring discipline and counter exactness (see
+PERFORMANCE.md).  reprolint checks the statically checkable part of those
+contracts over the AST of ``src/repro`` at authoring time, before a
+violation costs a bisect through the equivalence suites.
+
+Architecture
+------------
+
+* :class:`LintRule` — one contract check.  Subclasses declare a ``rule_id``
+  (stable, kebab-case, used by suppressions and baselines), a one-line
+  ``title``, a ``contract`` pointer into the documentation, and implement
+  :meth:`LintRule.check` over a :class:`ModuleUnderLint`.  Registration is
+  a decorator (:func:`register_rule`); the registry is open — downstream
+  packages may register additional rules before invoking the engine.
+* :class:`ModuleUnderLint` — a parsed module plus the shared derived state
+  every rule needs: parent links on AST nodes, enclosing-symbol qualnames,
+  suppression comments, and the module's path *inside* the ``repro``
+  package (rules scope themselves by subpackage).
+* :class:`LintEngine` / :func:`lint_paths` — walk files, run rules, apply
+  per-line suppressions and the reviewed baseline, return a
+  :class:`LintReport`.
+
+Suppressions
+------------
+
+A violation is suppressed by a trailing comment on the flagged line::
+
+    self._ready.add(index)  # reprolint: disable=wake-mutate-no-notify
+
+Multiple ids separate with commas; ``disable=all`` silences every rule on
+that line.  A whole file opts out of one rule with a line anywhere in it::
+
+    # reprolint: disable-file=hot-alloc-in-tick
+
+Suppression etiquette (also in PERFORMANCE.md): every suppression should
+sit next to a comment explaining *why* the contract holds anyway.  Bulk
+exceptions belong in the reviewed baseline file instead (see
+:mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "LintError",
+    "Violation",
+    "LintRule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "ModuleUnderLint",
+    "LintReport",
+    "LintEngine",
+    "lint_paths",
+    "lint_source",
+]
+
+
+class LintError(Exception):
+    """Raised for analyzer misuse (unknown rule ids, unreadable baselines)."""
+
+
+# --------------------------------------------------------------------------
+# Violations
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation at a source location.
+
+    ``symbol`` is the dotted path of the enclosing class/function (e.g.
+    ``NIKernel._transmit_be``); baselines key on ``(path, rule, symbol)``
+    so entries survive unrelated line drift.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = "<module>"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id}: "
+                f"{self.message}  [{self.symbol}]")
+
+
+# --------------------------------------------------------------------------
+# Rules and the registry
+# --------------------------------------------------------------------------
+
+class LintRule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``packages`` (optional) restricts the rule to modules whose
+    repro-relative path starts with one of the given prefixes — modules
+    outside the ``repro`` package (test fixtures) are always in scope, so
+    rule behaviour stays testable on standalone snippets.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: Pointer to the documented contract this rule encodes.
+    contract: str = ""
+    #: Optional repro-relative path prefixes this rule is scoped to.
+    packages: Optional[Tuple[str, ...]] = None
+
+    def applies(self, module: "ModuleUnderLint") -> bool:
+        if self.packages is None:
+            return True
+        rel = module.repro_relpath
+        if rel is None:  # outside the repro tree: fixture/test mode
+            return True
+        return rel.startswith(self.packages)
+
+    def check(self, module: "ModuleUnderLint") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: "ModuleUnderLint", node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(rule_id=self.rule_id, path=module.display_path,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         message=message,
+                         symbol=module.qualname(node))
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    if not issubclass(cls, LintRule):
+        raise LintError(f"{cls!r} is not a LintRule")
+    if not cls.rule_id:
+        raise LintError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise LintError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, LintRule]:
+    """Instantiate every registered rule, keyed by id (sorted)."""
+    # Importing the bundled rule modules registers them on first use.
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+    return {rule_id: _REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)}
+
+
+def get_rule(rule_id: str) -> LintRule:
+    from repro.analysis.lint import rules as _rules  # noqa: F401
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError as exc:
+        raise LintError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}") from exc
+
+
+# --------------------------------------------------------------------------
+# Modules under lint
+# --------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<file>-file)?\s*=\s*(?P<ids>[A-Za-z0-9_\-, ]+)")
+
+
+class ModuleUnderLint:
+    """A parsed source module plus the derived state rules share."""
+
+    def __init__(self, source: str, path: str,
+                 display_path: Optional[str] = None) -> None:
+        self.source = source
+        self.path = path
+        self.display_path = display_path if display_path is not None else path
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._annotate_parents()
+        self.repro_relpath = self._repro_relpath(path)
+        (self.line_suppressions,
+         self.file_suppressions) = self._parse_suppressions()
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_path(cls, path: Path, display_path: Optional[str] = None
+                  ) -> "ModuleUnderLint":
+        return cls(path.read_text(encoding="utf-8"), str(path), display_path)
+
+    # -------------------------------------------------------------- helpers
+    def _annotate_parents(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                child._reprolint_parent = parent  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _repro_relpath(path: str) -> Optional[str]:
+        parts = Path(path).parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index + 1:])
+        return None
+
+    def _parse_suppressions(self) -> Tuple[Dict[int, Set[str]], Set[str]]:
+        per_line: Dict[int, Set[str]] = {}
+        per_file: Set[str] = set()
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")
+                   if part.strip()}
+            if match.group("file"):
+                per_file |= ids
+            else:
+                per_line.setdefault(number, set()).update(ids)
+        return per_line, per_file
+
+    def suppressed(self, violation: Violation) -> bool:
+        if ("all" in self.file_suppressions
+                or violation.rule_id in self.file_suppressions):
+            return True
+        ids = self.line_suppressions.get(violation.line)
+        return bool(ids) and ("all" in ids or violation.rule_id in ids)
+
+    # ------------------------------------------------------------ AST utils
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_reprolint_parent", None)
+
+    def qualname(self, node: ast.AST) -> str:
+        names: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                names.append(current.name)
+            current = self.parent(current)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> Optional[ast.FunctionDef]:
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current  # type: ignore[return-value]
+            current = self.parent(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parent(current)
+        return None
+
+    def class_defs(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+# Generic AST inspection helpers shared by the bundled rules. -----------------
+
+def receiver_root(node: ast.AST) -> Optional[str]:
+    """The base name of an attribute/subscript/call chain (``self`` in
+    ``self.channels[i].source_queue.push``), or None."""
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        elif isinstance(current, ast.Name):
+            return current.id
+        else:
+            return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Terminal name of the called object (``push`` in ``q.push(w)``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """Last identifier of a Name/Attribute/Subscript target."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return terminal_name(node.value)
+    return None
+
+
+def identifiers_in(node: ast.AST) -> Iterator[str]:
+    """Every Name id and Attribute attr appearing inside ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def class_methods(class_node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    methods: Dict[str, ast.FunctionDef] = {}
+    for item in class_node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = item  # type: ignore[assignment]
+    return methods
+
+
+def tick_reachable_methods(class_node: ast.ClassDef,
+                           roots: Sequence[str] = ("tick", "post_tick"),
+                           ) -> Dict[str, ast.FunctionDef]:
+    """Methods reachable from the per-cycle roots through ``self.X()`` calls.
+
+    The per-class closure over direct ``self`` method calls: the hot-path
+    authoring rules apply to everything a ``tick()``/``post_tick()`` body
+    can run every cycle, not just the literal tick body.  Cross-class calls
+    (e.g. into a queue object) are outside the closure — the queue's own
+    module carries the rules for those.
+    """
+    methods = class_methods(class_node)
+    edges: Dict[str, Set[str]] = {}
+    for name, method in methods.items():
+        called: Set[str] = set()
+        for node in ast.walk(method):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in methods):
+                called.add(node.func.attr)
+        edges[name] = called
+    reachable: Set[str] = set()
+    frontier = [root for root in roots if root in methods]
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        frontier.extend(edges.get(name, ()))
+    return {name: methods[name] for name in reachable}
+
+
+def defines_method(class_node: ast.ClassDef, name: str) -> bool:
+    return name in class_methods(class_node)
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    inline_suppressed: int = 0
+    baseline_suppressed: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "inline_suppressed": self.inline_suppressed,
+            "baseline_suppressed": self.baseline_suppressed,
+            "counts_by_rule": self.counts_by_rule(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class LintEngine:
+    """Runs a rule set over modules, applying suppressions and a baseline."""
+
+    def __init__(self, select: Optional[Iterable[str]] = None,
+                 baseline: Optional["Baseline"] = None) -> None:
+        rules = all_rules()
+        if select is not None:
+            wanted = list(select)
+            unknown = [rule_id for rule_id in wanted if rule_id not in rules]
+            if unknown:
+                raise LintError(
+                    f"unknown rule id(s) {unknown}; known: {sorted(rules)}")
+            rules = {rule_id: rules[rule_id] for rule_id in wanted}
+        self.rules = rules
+        self.baseline = baseline
+
+    # ---------------------------------------------------------------- files
+    @staticmethod
+    def collect_files(paths: Sequence[str]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(
+                    candidate for candidate in path.rglob("*.py")
+                    if "__pycache__" not in candidate.parts))
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise LintError(f"no such file or directory: {raw}")
+        return files
+
+    # ----------------------------------------------------------------- runs
+    def run(self, paths: Sequence[str]) -> LintReport:
+        report = LintReport(rules_run=sorted(self.rules))
+        raw: List[Violation] = []
+        for path in self.collect_files(paths):
+            display = self._display_path(path)
+            try:
+                module = ModuleUnderLint.from_path(path, display_path=display)
+            except SyntaxError as exc:
+                raw.append(Violation(
+                    rule_id="parse-error", path=display,
+                    line=exc.lineno or 1, col=exc.offset or 0,
+                    message=f"could not parse module: {exc.msg}"))
+                report.files_checked += 1
+                continue
+            report.files_checked += 1
+            for rule in self.rules.values():
+                if not rule.applies(module):
+                    continue
+                for violation in rule.check(module):
+                    if module.suppressed(violation):
+                        report.inline_suppressed += 1
+                    else:
+                        raw.append(violation)
+        if self.baseline is not None:
+            raw, matched = self.baseline.filter(raw)
+            report.baseline_suppressed = matched
+        report.violations = sorted(raw, key=Violation.sort_key)
+        return report
+
+    def run_source(self, source: str, path: str = "<snippet>") -> LintReport:
+        """Lint an in-memory snippet (fixture tests, gate demonstrations)."""
+        report = LintReport(rules_run=sorted(self.rules), files_checked=1)
+        module = ModuleUnderLint(source, path)
+        raw: List[Violation] = []
+        for rule in self.rules.values():
+            if not rule.applies(module):
+                continue
+            for violation in rule.check(module):
+                if module.suppressed(violation):
+                    report.inline_suppressed += 1
+                else:
+                    raw.append(violation)
+        if self.baseline is not None:
+            raw, matched = self.baseline.filter(raw)
+            report.baseline_suppressed = matched
+        report.violations = sorted(raw, key=Violation.sort_key)
+        return report
+
+    @staticmethod
+    def _display_path(path: Path) -> str:
+        try:
+            return path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def lint_paths(paths: Sequence[str], select: Optional[Iterable[str]] = None,
+               baseline: Optional["Baseline"] = None) -> LintReport:
+    """Convenience wrapper: lint files/directories with the full rule set."""
+    return LintEngine(select=select, baseline=baseline).run(paths)
+
+
+def lint_source(source: str, select: Optional[Iterable[str]] = None,
+                path: str = "<snippet>") -> LintReport:
+    """Convenience wrapper: lint one in-memory snippet."""
+    return LintEngine(select=select).run_source(source, path=path)

@@ -1,0 +1,41 @@
+"""Output formatting for reprolint reports: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.framework import LintReport
+
+__all__ = ["render_text", "render_json", "render"]
+
+
+def render_text(report: LintReport) -> str:
+    lines = [violation.format() for violation in report.violations]
+    counts = report.counts_by_rule()
+    if counts:
+        lines.append("")
+        for rule_id in sorted(counts):
+            lines.append(f"  {rule_id}: {counts[rule_id]}")
+    suppressed = []
+    if report.inline_suppressed:
+        suppressed.append(f"{report.inline_suppressed} inline-suppressed")
+    if report.baseline_suppressed:
+        suppressed.append(f"{report.baseline_suppressed} baselined")
+    tail = f" ({', '.join(suppressed)})" if suppressed else ""
+    verdict = "clean" if report.ok else \
+        f"{len(report.violations)} violation(s)"
+    lines.append(f"reprolint: {report.files_checked} file(s), "
+                 f"{len(report.rules_run)} rule(s): {verdict}{tail}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)
+
+
+def render(report: LintReport, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "text":
+        return render_text(report)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -131,8 +131,11 @@ class NIKernel(ClockedComponent):
         #: potentially schedulable.  Every stimulus that can raise a
         #: channel's eligibility adds its index here (via the per-channel
         #: tx-wake closure or ``write_register``); ``_transmit_be`` scans
-        #: only this set and lazily drops channels that went quiescent.
-        self._be_ready: set = set()
+        #: only this overlay and lazily drops channels that went quiescent.
+        #: A dict-of-None, not a set: the scan feeds arbitration, so its
+        #: order must be insertion-deterministic, not hash-dependent
+        #: (reprolint det-unordered-iter).
+        self._be_ready: Dict[int, None] = {}
         #: Scratch list reused every cycle for the eligible indices handed
         #: to the arbiter (arbiters do not retain it).
         self._eligible_scratch: List[int] = []
@@ -165,7 +168,9 @@ class NIKernel(ClockedComponent):
         self._lat_network = stats.latency("packet_network_latency")
 
     # ------------------------------------------------------------- channels
-    def add_channel(self, source_queue_words: int = 8, dest_queue_words: int = 8,
+    # Design-time wiring: a freshly added channel starts disabled and empty,
+    # so it cannot change the kernel's idleness — no wake hook needed.
+    def add_channel(self, source_queue_words: int = 8, dest_queue_words: int = 8,  # reprolint: disable=wake-mutate-no-notify
                     port_clock_period_ps: Optional[int] = None,
                     cdc_cycles: int = DEFAULT_CDC_CYCLES) -> Channel:
         """Instantiate a channel (design time, Section 4.1).
@@ -200,7 +205,7 @@ class NIKernel(ClockedComponent):
         notify = self.notify_active
 
         def wake() -> None:
-            be_ready.add(index)
+            be_ready[index] = None
             notify()
 
         return wake
@@ -218,7 +223,9 @@ class NIKernel(ClockedComponent):
         return len(self.channels)
 
     # ----------------------------------------------------------------- ports
-    def add_port(self, name: str, channel_indices: List[int]) -> NIPort:
+    # Design-time wiring: port grouping is metadata over existing channels
+    # and cannot raise eligibility — no wake hook needed.
+    def add_port(self, name: str, channel_indices: List[int]) -> NIPort:  # reprolint: disable=wake-mutate-no-notify
         """Group channels into an NI port (Figure 1: "NI kernel ports")."""
         if name in self.ports:
             raise ValueError(f"{self.name}: duplicate port name {name!r}")
@@ -540,7 +547,7 @@ class NIKernel(ClockedComponent):
                 stale.append(index)
         if stale:
             for index in stale:
-                ready.discard(index)
+                ready.pop(index, None)
         if not eligible:
             return
         if not self.to_network.can_send_be():
@@ -690,7 +697,7 @@ class NIKernel(ClockedComponent):
         # Any channel register write may raise eligibility (enable, GT->BE
         # flip, threshold drop, space refill): mark the channel ready so the
         # BE scheduler re-examines it.
-        self._be_ready.add(channel_index)
+        self._be_ready[channel_index] = None
         self.notify_active()
         self.tracer.record(self.sim.now, self.name, "register_write",
                            address=address, value=value)

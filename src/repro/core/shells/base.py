@@ -90,6 +90,7 @@ class ConnectionShell(ClockedComponent):
         self._ctr_messages_sent = stats.counter("messages_sent")
         self._ctr_rx_words = stats.counter("rx_words")
         self._ctr_messages_received = stats.counter("messages_received")
+        self._ctr_messages_discarded = stats.counter("messages_discarded")
         #: True while a destination queue may hold (or grow) readable words;
         #: set by the rx stimulus below, cleared by ``_collect_rx`` once all
         #: queues are drained.  Lets ``tick`` skip the receive scan on
@@ -260,7 +261,7 @@ class ConnectionShell(ClockedComponent):
                     # The end-to-end retry layer (master shell timeouts)
                     # is what recovers the transaction.
                     self._rx_poisoned.discard(conn)
-                    self.stats.counter("messages_discarded").increment()
+                    self._ctr_messages_discarded.value += 1
                     if self.tracer.enabled:
                         self.tracer.record(self._now_ps(), self.name,
                                            "message_discarded",

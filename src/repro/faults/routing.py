@@ -102,7 +102,9 @@ class FaultAwareRouting(RoutingStrategy):
                 and cached[1] == self.version):
             return cached[2]
         graph = topology.graph.copy()
-        for a, b in self.failed_edges:
+        # Sorted walk: edge removal order must not follow set hash order
+        # (reprolint det-unordered-iter), matching _masked_sequence above.
+        for a, b in sorted(self.failed_edges, key=repr):
             if graph.has_edge(a, b):
                 graph.remove_edge(a, b)
         self._mask_cache = (id(topology), self.version, graph)

@@ -178,9 +178,14 @@ class NoC:
         self.fault_version += 1
 
     def failed_router_edges(self) -> set:
-        """Node pairs ``(a, b)`` of currently failed router-to-router links."""
+        """Node pairs ``(a, b)`` of currently failed router-to-router links.
+
+        Iterates a sorted view of ``failed_links``: callers remove graph
+        edges / reroute from this, so the walk must not depend on set hash
+        order (reprolint det-unordered-iter).
+        """
         edges = set()
-        for link_id in self.failed_links:
+        for link_id in sorted(self.failed_links, key=repr):
             endpoints = self.router_link_endpoints.get(link_id)
             if endpoints is not None:
                 edges.add(endpoints)

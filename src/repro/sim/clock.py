@@ -148,7 +148,9 @@ class Clock:
         self.sim = sim
         self.name = name
         self.frequency_mhz = float(frequency_mhz)
-        self.period_ps = int(round(1e6 / frequency_mhz))
+        # Construction-time only: the float division is rounded to an exact
+        # integer period once; all subsequent time math is integral.
+        self.period_ps = int(round(1e6 / frequency_mhz))  # reprolint: disable=det-float-cycles
         if self.period_ps <= 0:
             raise SimulationError(f"clock {name}: period rounds to 0 ps")
         self.phase_ps = int(phase_ps)
