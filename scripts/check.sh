@@ -45,6 +45,37 @@ for name in ("link_failure_reroute", "transient_storm", "gt_degraded"):
           f"retries={report.retries}, degraded={len(report.degraded)}")
 EOF
 
+echo "== observability smoke =="
+python - <<'EOF'
+import io
+import json
+
+from repro.api import scenarios
+
+system = scenarios.build("obs_tour", traced=True)
+cycles = system.run_until_idle(max_flit_cycles=400000)
+assert cycles < 400000, "obs_tour never went idle"
+
+report = system.report()
+assert report["metrics"]["samples"] > 0, "sampler took no samples"
+assert report["captures"], "no probe recorded a change"
+assert report["health"]["packets_dropped"] > 0, "transient window never fired"
+
+vcd = io.StringIO()
+signals = system.obs.write_vcd(vcd)
+text = vcd.getvalue()
+assert signals > 0 and "$enddefinitions" in text and "$timescale" in text
+
+trace = system.obs.perfetto(system.tracer.events)
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+assert spans, "perfetto export has no packet spans"
+json.dumps(trace)  # must be serializable as-is
+
+print(f"  obs_tour: idle@{cycles}, samples={report['metrics']['samples']}, "
+      f"captures={len(report['captures'])}, vcd_signals={signals}, "
+      f"perfetto_events={len(trace['traceEvents'])}")
+EOF
+
 quick_json="$(mktemp /tmp/bench_quick.XXXXXX.json)"
 trap 'rm -f "$quick_json"' EXIT
 
@@ -92,11 +123,13 @@ echo "== BENCH_PERF.json staleness =="
 # (spread vs contiguous) decides the burst shapes the batched pipeline can
 # form, which directly moves the saturated_* numbers; src/repro/sim covers
 # the batching primitives (sim/batching.py), clock fusion (sim/clock.py)
-# and the columnar stats layer (sim/stats.py).
+# and the columnar stats layer (sim/stats.py); src/repro/obs because the
+# sampler's burst barrier shapes the batched pipeline in observed runs (and
+# must stay a no-op when no observers are declared).
 ENGINE_PATHS=(src/repro/sim src/repro/core src/repro/network src/repro/api
               src/repro/design src/repro/ip src/repro/mem src/repro/analysis
               src/repro/faults src/repro/config src/repro/protocol
-              src/repro/baselines
+              src/repro/baselines src/repro/obs
               src/repro/testbench.py benchmarks/perf/run_perf.py)
 
 # Meta-check: the array above is hand-maintained; fail loudly if a new

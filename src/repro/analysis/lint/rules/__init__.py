@@ -8,11 +8,13 @@ registry.  Each module encodes one family of documented contracts:
 * :mod:`.hotpath` — hot-path authoring discipline (``__slots__``,
   allocation-free tick bodies)
 * :mod:`.counters` — counter exactness and burst-barrier guarding
+* :mod:`.obs` — probe-network entry points stay free when disabled
 """
 
 from repro.analysis.lint.rules import (  # noqa: F401
     counters,
     determinism,
     hotpath,
+    obs,
     wake,
 )

@@ -1,0 +1,85 @@
+"""Observability authoring rules.
+
+BUILDING.md ("Observability") promises that the probe network costs
+exactly nothing when disabled: probes and the metrics sampler sit on the
+flit clock of observed runs, so every per-cycle entry point must bail out
+on the cached ``enabled`` flag before it reads or allocates anything.
+This rule keeps that contract mechanical — a disabled observatory must be
+a handful of predicted branches, not a trickle of per-cycle work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.framework import (
+    LintRule,
+    ModuleUnderLint,
+    Violation,
+    register_rule,
+)
+
+#: Per-cycle entry points of probes and samplers: the sampler's clock
+#: tick, a probe's sample() and the fault probe's event callback.
+_OBS_ROOTS = ("tick", "sample", "on_fault")
+
+
+def _first_statement(method: ast.FunctionDef) -> Optional[ast.stmt]:
+    """The first non-docstring statement of a method body."""
+    body = method.body
+    index = 0
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        index = 1
+    return body[index] if index < len(body) else None
+
+
+def _is_enabled_guard(stmt: ast.stmt) -> bool:
+    """True for ``if not self.<...enabled...>: return``."""
+    if not isinstance(stmt, ast.If) or stmt.orelse:
+        return False
+    test = stmt.test
+    if not (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)):
+        return False
+    operand = test.operand
+    if not (isinstance(operand, ast.Attribute)
+            and isinstance(operand.value, ast.Name)
+            and operand.value.id == "self"
+            and "enabled" in operand.attr):
+        return False
+    return len(stmt.body) == 1 and isinstance(stmt.body[0], ast.Return)
+
+
+@register_rule
+class ObsHotDisabledRule(LintRule):
+    """Probe/sampler entry points must early-return when disabled.
+
+    The first statement of every ``tick``/``sample``/``on_fault`` method
+    in the obs package must be ``if not self.<enabled flag>: return`` —
+    before any allocation, attribute walk or arithmetic — so toggling
+    :meth:`Observatory.disable` really turns the probe network off.
+    """
+
+    rule_id = "obs-hot-disabled"
+    title = "obs entry point missing the disabled early-return"
+    contract = "BUILDING.md: Observability"
+    packages = ("obs/",)
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Violation]:
+        for class_node in module.class_defs():
+            for item in class_node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name not in _OBS_ROOTS:
+                    continue
+                stmt = _first_statement(item)
+                if stmt is not None and _is_enabled_guard(stmt):
+                    continue
+                yield self.violation(
+                    module, item,
+                    f"{class_node.name}.{item.name} runs per cycle on the "
+                    "flit clock of observed runs; its first statement must "
+                    "be `if not self.<...enabled...>: return` so a "
+                    "disabled probe network costs only a predicted branch")

@@ -61,6 +61,7 @@ from repro.core.shells.slave import SlaveShell
 from repro.design.generator import SystemModel, build_system
 from repro.design.spec import ChannelSpec, NISpec, NoCSpec, PortSpec
 from repro.faults import FaultInjector, FaultManager, FaultPlan, HealthReport
+from repro.obs import OBS_TARGETS, Observatory, build_observatory
 from repro.ip.master import TrafficGeneratorMaster
 from repro.ip.memory import SharedMemory
 from repro.ip.slave import MemorySlave, SlaveIP
@@ -289,7 +290,8 @@ class System:
                  tracer: Tracer = NULL_TRACER,
                  deadlock_report: Optional[DeadlockReport] = None,
                  fault_manager: Optional[FaultManager] = None,
-                 deadlock_check: str = "warn") -> None:
+                 deadlock_check: str = "warn",
+                 obs: Optional[Observatory] = None) -> None:
         self.model = model
         self.configuration_mode = configuration_mode
         self.masters = masters
@@ -306,6 +308,9 @@ class System:
         self.deadlock_report = deadlock_report
         self._fault_manager = fault_manager
         self._deadlock_check = deadlock_check
+        #: The probe network (None unless built with
+        #: :meth:`SystemBuilder.observe`).
+        self.obs = obs
 
     # --------------------------------------------------------------- lookups
     @property
@@ -416,6 +421,8 @@ class System:
                 allocator=self.model.allocator,
                 connections=self.connections, masters=self.masters,
                 deadlock_check=self._deadlock_check)
+            if self.obs is not None:
+                self.obs.bind_faults(self._fault_manager)
         return self._fault_manager
 
     def fail_link(self, a: Hashable, b: Hashable) -> None:
@@ -459,10 +466,35 @@ class System:
         """Recorded trace events (requires ``SystemBuilder.trace``)."""
         return self.tracer.filter(kind=kind, source=source)
 
+    def report(self) -> dict:
+        """One run artifact: counters, health, and (when the system was
+        built with :meth:`SystemBuilder.observe`) the sampled metric
+        timelines plus the per-component capture buffers."""
+        out: dict = {
+            "system": self.spec.name,
+            "now_ps": self.sim.now,
+            "counters": self.counters(),
+            "health": self.health_report().as_dict(),
+        }
+        if self.obs is not None:
+            out["metrics"] = self.obs.series()
+            out["captures"] = self.obs.captures()
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"System({self.spec.name!r}, nis={len(self.model.nis)}, "
                 f"masters={len(self.masters)}, memories={len(self.memories)}, "
                 f"connections={len(self.connections)})")
+
+
+@dataclass
+class _ObsDecl:
+    """An ``observe()`` declaration: probe families plus sampling knobs."""
+
+    targets: Tuple[str, ...]
+    period: int
+    capture_depth: int
+    series_cap: int
 
 
 # ---------------------------------------------------------------------------
@@ -511,6 +543,7 @@ class SystemBuilder:
         self._mode = "functional"
         self._sim: Optional[Simulator] = None
         self._tracer: Tracer = NULL_TRACER
+        self._obs: Optional[_ObsDecl] = None
         self._router_slot_tables = False
         self._strict_gt = True
         self._auto_router = 0
@@ -661,6 +694,41 @@ class SystemBuilder:
     def trace(self, tracer: Optional[Tracer] = None) -> "SystemBuilder":
         """Record trace events (routers, links, shells) during simulation."""
         self._tracer = tracer if tracer is not None else Tracer()
+        return self
+
+    def observe(self, *targets: str, period: int = 32,
+                capture_depth: int = 64,
+                series_cap: int = 1024) -> "SystemBuilder":
+        """Attach the probe network (``System.obs``) to the built system.
+
+        ``targets`` selects probe families from
+        :data:`repro.obs.OBS_TARGETS` (``"links"``, ``"routers"``,
+        ``"nis"``, ``"dram"``, ``"faults"``); no arguments means all of
+        them.  ``period`` is the metrics-sampling stride in flit cycles,
+        ``capture_depth`` the per-probe change-capture ring size and
+        ``series_cap`` the retained-samples bound past which the timeline
+        decimates (stride doubles).  Systems built without this call
+        instantiate no observability machinery at all — runs stay
+        byte-identical (see BUILDING.md "Observability").
+        """
+        chosen = tuple(dict.fromkeys(targets)) if targets else OBS_TARGETS
+        unknown = [t for t in chosen if t not in OBS_TARGETS]
+        if unknown:
+            raise BuilderError(
+                f"unknown observe target(s) {unknown!r} "
+                f"(known: {', '.join(OBS_TARGETS)})")
+        if period <= 0:
+            raise BuilderError(
+                f"observe period must be positive, got {period}")
+        if capture_depth <= 0:
+            raise BuilderError(
+                f"observe capture_depth must be positive, got {capture_depth}")
+        if series_cap < 2:
+            raise BuilderError(
+                f"observe series_cap must be at least 2, got {series_cap}")
+        self._obs = _ObsDecl(targets=chosen, period=period,
+                             capture_depth=capture_depth,
+                             series_cap=series_cap)
         return self
 
     def options(self, *, router_slot_tables: Optional[bool] = None,
@@ -1297,6 +1365,29 @@ class SystemBuilder:
         for link in model.noc.links.values():
             link.attach_meter()
 
+        # The probe network — like faults, instantiated only when declared,
+        # so no-obs builds stay byte-identical (no sampler on the clock, no
+        # burst barrier, no probe state).
+        observatory: Optional[Observatory] = None
+        if self._obs is not None:
+            dram_controllers = {
+                name: handle.dram.controller
+                for name, handle in memory_handles.items()
+                if handle.backend == "dram"}
+            observatory = build_observatory(
+                model, targets=self._obs.targets, period=self._obs.period,
+                capture_depth=self._obs.capture_depth,
+                series_cap=self._obs.series_cap,
+                dram_controllers=dram_controllers)
+            model.noc.flit_clock.add_component(observatory.sampler)
+            # Samples must observe drained pipelines: hand every kernel the
+            # sampler's barrier so batched bursts truncate at the next
+            # sample cycle (the same invariant fault events rely on).
+            for kernel in model.kernels.values():
+                kernel.obs_barrier = observatory.sampler.barrier
+            if fault_manager is not None:
+                observatory.bind_faults(fault_manager)
+
         return System(model=model, masters=master_handles,
                       memories=memory_handles, connections=connections,
                       configurator=configurator, config_shell=config_shell,
@@ -1306,7 +1397,8 @@ class SystemBuilder:
                       tracer=self._tracer,
                       deadlock_report=deadlock_report,
                       fault_manager=fault_manager,
-                      deadlock_check=self._deadlock_check)
+                      deadlock_check=self._deadlock_check,
+                      obs=observatory)
 
     def _check_deadlock(self, model: SystemModel,
                         masters: Dict[str, _MasterDecl],

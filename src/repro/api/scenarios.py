@@ -50,6 +50,7 @@ from repro.ip.traffic import (
     VideoLineTraffic,
 )
 from repro.network.topology import Topology
+from repro.sim.trace import Tracer
 
 
 class ScenarioError(KeyError):
@@ -851,4 +852,54 @@ def _saturated_grid(rows: int = 6, cols: int = 6) -> System:
             index += 1
             builder.connect(master_ni, slave_ni, name=f"c_{master_ni}",
                             gt=gt, slots=2)
+    return builder.build()
+
+
+@scenario("obs_tour",
+          description="A 2x2 mesh with GT and BE traffic, a DRAM-backed "
+                      "memory and a transient drop window, built with the "
+                      "full probe network attached — the observability "
+                      "showcase behind examples/obs_tour.py.",
+          tags=("functional", "obs", "faults"))
+def _obs_tour(max_transactions: int = 40, period_cycles: int = 12,
+              burst_words: int = 4, sample_period: int = 16,
+              capture_depth: int = 64, series_cap: int = 512,
+              window_start: int = 40, window_end: int = 400,
+              drop_probability: float = 0.3, seed: int = 7,
+              timeout_cycles: int = 200, max_retries: int = 6,
+              traced: bool = False) -> System:
+    # The GT stream (dsp -> DRAM) crosses the top row; the BE stream
+    # (cpu -> SRAM) crosses the bottom row straight through the transient
+    # drop window, so retries, link meters, DRAM bank state and fault
+    # captures all have something to show.  traced=True additionally
+    # records trace events for packet-lifetime (Perfetto) export.
+    builder = (SystemBuilder("obs_tour")
+               .mesh(2, 2)
+               .add_master("dsp", router=(0, 0),
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=period_cycles,
+                               burst_words=burst_words, write=True,
+                               posted=False),
+                           max_transactions=max_transactions,
+                           timeout_cycles=timeout_cycles,
+                           max_retries=max_retries)
+               .add_master("cpu", router=(1, 0),
+                           pattern=ConstantBitRateTraffic(
+                               period_cycles=2 * period_cycles,
+                               burst_words=max(burst_words // 2, 1),
+                               write=True, posted=False),
+                           max_transactions=max_transactions // 2,
+                           timeout_cycles=timeout_cycles,
+                           max_retries=max_retries)
+               .add_memory("dram0", router=(0, 1), backend="dram")
+               .add_memory("sram0", router=(1, 1), words=4096)
+               .connect("dsp", "dram0", name="dsp_dram", gt=True, slots=2)
+               .connect("cpu", "sram0", name="cpu_sram")
+               .inject_fault(window_start, (1, 0), (1, 1), kind="transient",
+                             until_cycle=window_end,
+                             drop_probability=drop_probability, seed=seed)
+               .observe(period=sample_period, capture_depth=capture_depth,
+                        series_cap=series_cap))
+    if traced:
+        builder.trace(Tracer(max_events=200000))
     return builder.build()

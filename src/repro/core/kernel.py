@@ -119,6 +119,11 @@ class NIKernel(ClockedComponent):
         #: counter totals at every observation point equal the per-flit
         #: pipeline's.
         self._stop_barrier = NO_BARRIER
+        #: Next metrics-sample cycle (shared, mutable; installed by the
+        #: system builder when observers are declared): no burst may be in
+        #: flight when the sampler reads, so sampled series equal the
+        #: per-flit pipeline's at every sample point.
+        self.obs_barrier = NO_BARRIER
         #: First cycle a new transmit decision is due: while a burst's
         #: flits stream mechanically, the scheduler has nothing to decide
         #: (exactly the cycles the per-flit path spent in its continuation
@@ -363,6 +368,11 @@ class NIKernel(ClockedComponent):
             self._ctr_packets_received.value += 1
             if packet.injected_cycle is not None:
                 self._lat_network.record(packet.injected_cycle, cycle)
+            if self.tracer.enabled:
+                self.tracer.record(self.sim.now, self.name,
+                                   "packet_delivered",
+                                   packet=packet.packet_id,
+                                   channel=qid, gt=flit.is_gt)
         if flit.is_gt:
             self._ctr_gt_flits_received.value += 1
         else:
@@ -426,6 +436,15 @@ class NIKernel(ClockedComponent):
             self._ctr_packets_received.value += 1
             if packet.injected_cycle is not None:
                 self._lat_network.record(packet.injected_cycle, tail_cycle)
+            if self.tracer.enabled:
+                # Bursts only form while the tracer is disabled, but one
+                # already in flight when a tracer arms still records its
+                # delivery (at the tail's real arrival time).
+                self.tracer.record(self.sim.now + (count - 1)
+                                   * self.flit_period_ps,
+                                   self.name, "packet_delivered",
+                                   packet=packet.packet_id,
+                                   channel=qid, gt=True)
         self._ctr_gt_flits_received.value += count
 
     @staticmethod
@@ -469,6 +488,9 @@ class NIKernel(ClockedComponent):
         stop = self._stop_barrier.cycle
         if stop < barrier:
             barrier = stop
+        obs = self.obs_barrier.cycle
+        if obs < barrier:
+            barrier = obs
         allowance = barrier - cycle - path_len - 2
         if allowance < length:
             length = allowance
@@ -648,6 +670,7 @@ class NIKernel(ClockedComponent):
         self._hist_payload_words.add(len(payload))
         if self.tracer.enabled:
             self.tracer.record(self.sim.now, self.name, "packet_formed",
+                               packet=packet.packet_id,
                                channel=channel.index, gt=gt,
                                words=len(payload), credits=credits)
         return packet

@@ -198,18 +198,20 @@ def build_system(spec: NoCSpec, sim: Optional[Simulator] = None,
                              policy=getattr(spec, "slot_policy", "spread")))
 
     for ni_spec in spec.nis:
-        ni = _build_ni(ni_spec, sim, noc, system)
+        ni = _build_ni(ni_spec, sim, noc, system, tracer)
         system.nis[ni_spec.name] = ni
     return system
 
 
 def _build_ni(ni_spec: NISpec, sim: Simulator, noc: NoC,
-              system: SystemModel) -> NetworkInterface:
+              system: SystemModel,
+              tracer: Tracer = NULL_TRACER) -> NetworkInterface:
     kernel = NIKernel(name=ni_spec.name, sim=sim,
                       num_slots=ni_spec.num_slots,
                       max_packet_words=ni_spec.max_packet_words,
                       be_arbiter=ni_spec.be_arbiter,
-                      flit_period_ps=noc.flit_clock.period_ps)
+                      flit_period_ps=noc.flit_clock.period_ps,
+                      tracer=tracer)
     kernel._stop_barrier = system.stop_barrier
     ni = NetworkInterface(name=ni_spec.name, kernel=kernel)
     for port_spec in ni_spec.ports:

@@ -190,7 +190,23 @@ class FaultManager:
         self.failed_edges: set = set()
         self._routings: Dict[object, FaultAwareRouting] = {}
         self.channels: List[ManagedChannel] = []
+        #: Fault-event listeners ``(cycle, kind, details) -> None``; the
+        #: observability plane's fault probe subscribes here so captures
+        #: land as the faults apply (repro.obs capture-on-fault).
+        self._listeners: List = []
         self._capture_routes()
+
+    # ------------------------------------------------------------ listeners
+    def add_listener(self, listener) -> None:
+        """Subscribe to applied fault events (probe hook)."""
+        self._listeners.append(listener)
+
+    def _emit(self, kind: str, **details: object) -> None:
+        if not self._listeners:
+            return
+        cycle = self.noc.flit_clock.cycle
+        for listener in self._listeners:
+            listener(cycle, kind, details)
 
     # ------------------------------------------------------------ bootstrap
     def _capture_routes(self) -> None:
@@ -263,6 +279,8 @@ class FaultManager:
         self._invalidate_routings()
         self._reroute_affected()
         self._reanalyze()
+        self._emit("link_down", a=str(a), b=str(b),
+                   failed_links=len(self.failed_link_ids))
 
     def repair(self, a: Hashable, b: Hashable) -> None:
         """Bring both directions back up.  Existing detours are kept — the
@@ -275,16 +293,21 @@ class FaultManager:
             if endpoints is not None:
                 self.failed_edges.discard(endpoints)
         self._invalidate_routings()
+        self._emit("repair", a=str(a), b=str(b),
+                   repaired_links=len(self.repaired_link_ids))
 
     def start_transient(self, a: Hashable, b: Hashable,
                         drop_probability: float, seed: int) -> None:
         for link_id in self._link_ids_between(a, b):
             rng = random.Random(f"{seed}:{link_id[0]}->{link_id[1]}")
             self.noc.links[link_id].set_lossy(drop_probability, rng)
+        self._emit("transient_start", a=str(a), b=str(b),
+                   drop_probability=drop_probability)
 
     def end_transient(self, a: Hashable, b: Hashable) -> None:
         for link_id in self._link_ids_between(a, b):
             self.noc.links[link_id].clear_lossy()
+        self._emit("transient_end", a=str(a), b=str(b))
 
     # ------------------------------------------------------------ rerouting
     def _reroute_affected(self) -> None:

@@ -340,6 +340,10 @@ class DRAMController:
     def queued(self) -> int:
         return self._pending
 
+    def queue_depth(self, bank: int) -> int:
+        """Requests waiting in one bank's queue (probe hook)."""
+        return len(self._queues[bank])
+
     @property
     def row_hit_rate(self) -> float:
         served = (self._ctr_hits.value + self._ctr_closed.value

@@ -316,6 +316,12 @@ class Link(ClockedComponent):
         return self.meter
 
     @property
+    def busy(self) -> bool:
+        """True while a previously sent burst still occupies the wire
+        (probe hook; see :meth:`can_send`)."""
+        return self._busy()
+
+    @property
     def occupancy(self) -> int:
         """Flits currently inside the link register stages."""
         count = (1 if self._stage is not None else 0) + \

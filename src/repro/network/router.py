@@ -468,5 +468,17 @@ class Router(ClockedComponent):
         self._check_port(port)
         return len(self._inputs[port].be_queue)
 
+    def input_fill(self, port: int, gt: bool = True) -> int:
+        """Flits buffered at one input port (probe hook; burst entries in
+        the GT queue count per flit, like :meth:`buffered_flits`)."""
+        self._check_port(port)
+        state = self._inputs[port]
+        if not gt:
+            return len(state.be_queue)
+        total = 0
+        for entry in state.gt_queue:
+            total += len(entry) if type(entry) is list else 1
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Router({self.name}, ports={self.num_ports})"

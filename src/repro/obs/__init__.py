@@ -1,0 +1,50 @@
+"""repro.obs — the observability plane.
+
+A probe network of per-component monitors (links, routers, NI kernels,
+DRAM banks, fault events), a deterministic metrics sampler clocked on the
+flit clock, and timeline exporters (VCD waveforms, Chrome/Perfetto
+trace_event JSON, JSON-lines capture dumps).  Attached declaratively via
+:meth:`repro.api.builder.SystemBuilder.observe` and reached through
+``System.obs`` / ``System.report()``.
+
+Systems built without observers instantiate nothing from this package and
+run byte-identically to a tree without it (the exactness contract,
+BUILDING.md "Observability").
+"""
+
+from repro.obs.observatory import (
+    OBS_TARGETS,
+    Observatory,
+    build_observatory,
+)
+from repro.obs.perfetto import trace_to_perfetto, write_perfetto
+from repro.obs.probes import (
+    CaptureRecord,
+    DramProbe,
+    FaultProbe,
+    LinkProbe,
+    NIProbe,
+    ObsError,
+    Probe,
+    RouterProbe,
+)
+from repro.obs.sampler import MetricsSampler
+from repro.obs.vcd import write_vcd
+
+__all__ = [
+    "OBS_TARGETS",
+    "Observatory",
+    "build_observatory",
+    "CaptureRecord",
+    "DramProbe",
+    "FaultProbe",
+    "LinkProbe",
+    "NIProbe",
+    "ObsError",
+    "Probe",
+    "RouterProbe",
+    "MetricsSampler",
+    "trace_to_perfetto",
+    "write_perfetto",
+    "write_vcd",
+]

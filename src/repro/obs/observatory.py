@@ -1,0 +1,189 @@
+"""The probe network: building, holding and exporting a system's probes.
+
+An :class:`Observatory` owns every probe attached to a built system plus
+the :class:`~repro.obs.sampler.MetricsSampler` that drives them, and is
+the export surface (``System.obs``): structured captures keyed by
+component (with a JSON-lines dump), the sampled metric timelines, and the
+waveform/timeline writers (:mod:`repro.obs.vcd`,
+:mod:`repro.obs.perfetto`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from repro.obs.perfetto import trace_to_perfetto, write_perfetto
+from repro.obs.probes import (
+    DramProbe,
+    FaultProbe,
+    LinkProbe,
+    NIProbe,
+    ObsError,
+    Probe,
+    RouterProbe,
+)
+from repro.obs.sampler import MetricsSampler
+from repro.obs.vcd import write_vcd
+
+#: Everything :func:`build_observatory` knows how to watch.
+OBS_TARGETS = ("links", "routers", "nis", "dram", "faults")
+
+
+class Observatory:
+    """All probes of one system, keyed by component name."""
+
+    def __init__(self, probes: List[Probe], sampler: MetricsSampler,
+                 flit_period_ps: int) -> None:
+        self.probes: Dict[str, Probe] = {}
+        for probe in probes:
+            if probe.name in self.probes:
+                raise ObsError(f"duplicate probe name {probe.name!r}")
+            self.probes[probe.name] = probe
+        self.sampler = sampler
+        self.flit_period_ps = flit_period_ps
+        self._fault_probe: Optional[FaultProbe] = next(
+            (p for p in probes if isinstance(p, FaultProbe)), None)
+        self._bound_manager = None
+
+    # -------------------------------------------------------------- lookup
+    def probe(self, name: str) -> Probe:
+        try:
+            return self.probes[name]
+        except KeyError:
+            known = ", ".join(self.probes) or "<none>"
+            raise ObsError(f"unknown probe {name!r} (known: {known})") \
+                from None
+
+    def __iter__(self):
+        return iter(self.probes.values())
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    # ------------------------------------------------------------- faults
+    def bind_faults(self, manager) -> None:
+        """Subscribe the fault probe to a fault manager (idempotent)."""
+        if self._fault_probe is None or manager is self._bound_manager:
+            return
+        manager.add_listener(self._fault_probe.on_fault)
+        self._bound_manager = manager
+
+    # ------------------------------------------------------------ toggles
+    def disable(self) -> None:
+        """Stop sampling and capturing; retained data stays readable."""
+        self.sampler.enabled = False
+        for probe in self.probes.values():
+            probe.enabled = False
+
+    def enable(self) -> None:
+        self.sampler.enabled = True
+        for probe in self.probes.values():
+            probe.enabled = True
+
+    # ------------------------------------------------------------- export
+    def series(self) -> Dict[str, object]:
+        """The sampled metric timelines (see ``MetricsSampler.series``)."""
+        return self.sampler.series()
+
+    def captures(self) -> Dict[str, List[Dict[str, object]]]:
+        """Retained capture records keyed by component (non-empty only)."""
+        out: Dict[str, List[Dict[str, object]]] = {}
+        for name, probe in self.probes.items():
+            records = probe.captures()
+            if records:
+                out[name] = records
+        return out
+
+    def dump_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write one JSON object per capture record; returns the count.
+
+        Records carry their component name and are ordered by component
+        (probe registration order), oldest record first within each.
+        """
+        written = 0
+        handle, owned = _open_for_write(target)
+        try:
+            for name, probe in self.probes.items():
+                for record in probe.capture:
+                    entry = record.as_dict()
+                    entry["component"] = name
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                    written += 1
+        finally:
+            if owned:
+                handle.close()
+        return written
+
+    def write_vcd(self, target: Union[str, IO[str]],
+                  signals: Optional[Iterable[str]] = None) -> int:
+        """Dump the signal-style series as a VCD waveform; returns the
+        number of signals written.  ``signals`` restricts the export
+        (default: every signal-marked metric of every probe)."""
+        if signals is None:
+            names = []
+            for probe in self.probes.values():
+                for metric in probe.signal_names:
+                    names.append(f"{probe.name}.{metric}")
+        else:
+            names = list(signals)
+        sampler = self.sampler
+        series = {name: sampler.column(name) for name in names}
+        return write_vcd(target, sampler.cycles, series,
+                         period_ps=self.flit_period_ps)
+
+    def perfetto(self, events) -> Dict[str, object]:
+        """Chrome/Perfetto ``trace_event`` JSON for a traced run's packet
+        lifetimes (see :func:`repro.obs.perfetto.trace_to_perfetto`)."""
+        return trace_to_perfetto(events)
+
+    def write_perfetto(self, events, target: Union[str, IO[str]]) -> int:
+        return write_perfetto(events, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Observatory(probes={len(self.probes)}, "
+                f"rows={len(self.sampler.cycles)})")
+
+
+def _open_for_write(target: Union[str, IO[str]]):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+def build_observatory(model, *, targets: Iterable[str] = OBS_TARGETS,
+                      period: int = 32, capture_depth: int = 64,
+                      series_cap: int = 1024,
+                      dram_controllers: Optional[Dict[str, object]] = None,
+                      ) -> Observatory:
+    """Instantiate probes over a generated system model.
+
+    ``targets`` selects probe families from :data:`OBS_TARGETS`;
+    ``dram_controllers`` maps memory names to
+    :class:`~repro.mem.controller.DRAMController` instances (the builder
+    passes the DRAM-backed memories it attached).  Component iteration
+    follows the model's construction order, so probe numbering — and with
+    it every export — is deterministic.
+    """
+    chosen = tuple(targets)
+    unknown = [t for t in chosen if t not in OBS_TARGETS]
+    if unknown:
+        raise ObsError(f"unknown observe target(s) {unknown!r} "
+                       f"(known: {', '.join(OBS_TARGETS)})")
+    probes: List[Probe] = []
+    if "links" in chosen:
+        for link in model.noc.links.values():
+            probes.append(LinkProbe(link, capture_depth))
+    if "routers" in chosen:
+        for router in model.noc.routers.values():
+            probes.append(RouterProbe(router, capture_depth))
+    if "nis" in chosen:
+        for name, kernel in model.kernels.items():
+            probes.append(NIProbe(name, kernel, capture_depth))
+    if "dram" in chosen and dram_controllers:
+        for name, controller in dram_controllers.items():
+            probes.append(DramProbe(name, controller, capture_depth))
+    if "faults" in chosen:
+        probes.append(FaultProbe(capture_depth))
+    sampler = MetricsSampler(probes, period=period, series_cap=series_cap)
+    return Observatory(probes, sampler, model.noc.flit_clock.period_ps)

@@ -1,0 +1,128 @@
+"""Chrome/Perfetto ``trace_event`` export of packet lifetimes.
+
+Reconstructs inject → route → deliver spans from a traced run
+(``SystemBuilder.trace``): each packet id becomes one timeline with a
+complete-event span from ``packet_formed`` to ``packet_delivered`` and a
+thread-scoped instant per router ``forward`` hop; every other trace kind
+(poisoned packets, discarded messages, register writes, ...) lands as an
+instant on a shared "events" track.  Load the JSON in ``ui.perfetto.dev``
+or ``chrome://tracing``.
+
+Timestamps are microseconds (the trace_event convention), converted from
+the simulator's picosecond timeline; the output is a pure function of the
+input events, so golden tests can pin a fingerprint of it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Union
+
+_PS_PER_US = 1_000_000
+
+#: The shared track for non-packet events.
+_EVENTS_TID = 0
+
+
+def _us(time_ps: int) -> float:
+    return time_ps / _PS_PER_US
+
+
+def trace_to_perfetto(events: Iterable) -> Dict[str, object]:
+    """Build a ``{"traceEvents": [...]}`` dict from recorded trace events.
+
+    Packets are identified by the ``packet=`` detail carried by the
+    kernel's ``packet_formed`` / ``packet_delivered`` records and the
+    router ``forward`` records; events without a packet id are exported as
+    instants.  Undelivered packets (still in flight, or lost to a fault)
+    are marked with an ``in flight`` instant instead of a span.
+
+    Packet ids are renumbered to run-local ordinals (first appearance in
+    the event stream): the simulator's ids come from a process-global
+    counter, so exporting them raw would make the output depend on what
+    else ran in the process instead of only on ``events``.
+    """
+    ordinals: Dict[int, int] = {}
+    packets: Dict[int, Dict[str, object]] = {}
+    others: List[object] = []
+    for event in events:
+        packet_id = event.details.get("packet")
+        if packet_id is not None:
+            packet_id = ordinals.setdefault(packet_id, len(ordinals))
+        if event.kind == "packet_formed" and packet_id is not None:
+            entry = packets.setdefault(packet_id, {"hops": []})
+            entry["formed_ps"] = event.time_ps
+            entry["source"] = event.source
+            entry["gt"] = bool(event.details.get("gt", False))
+            entry["words"] = event.details.get("words", 0)
+        elif event.kind == "packet_delivered" and packet_id is not None:
+            entry = packets.setdefault(packet_id, {"hops": []})
+            entry["delivered_ps"] = event.time_ps
+            entry["sink"] = event.source
+        elif event.kind == "forward" and packet_id is not None:
+            entry = packets.setdefault(packet_id, {"hops": []})
+            entry["hops"].append((event.time_ps, event.source,
+                                  event.details.get("output")))
+        else:
+            others.append(event)
+
+    trace_events: List[Dict[str, object]] = [
+        {"ph": "M", "name": "process_name", "pid": 1,
+         "args": {"name": "repro-noc"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": _EVENTS_TID,
+         "args": {"name": "events"}},
+    ]
+    for packet_id in sorted(packets):
+        entry = packets[packet_id]
+        tid = packet_id + 1  # tid 0 is the shared events track
+        traffic = "gt" if entry.get("gt") else "be"
+        formed = entry.get("formed_ps")
+        delivered = entry.get("delivered_ps")
+        trace_events.append(
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+             "args": {"name": f"packet {packet_id}"}})
+        if formed is not None and delivered is not None:
+            trace_events.append({
+                "name": f"packet {packet_id} ({traffic})", "cat": "packet",
+                "ph": "X", "pid": 1, "tid": tid, "ts": _us(formed),
+                "dur": _us(delivered - formed),
+                "args": {"source": entry.get("source"),
+                         "sink": entry.get("sink"),
+                         "words": entry.get("words"),
+                         "hops": len(entry["hops"])}})
+        elif formed is not None:
+            trace_events.append({
+                "name": f"packet {packet_id} in flight", "cat": "packet",
+                "ph": "i", "s": "t", "pid": 1, "tid": tid,
+                "ts": _us(formed),
+                "args": {"source": entry.get("source"),
+                         "words": entry.get("words")}})
+        for hop_ps, router, output in entry["hops"]:
+            trace_events.append({
+                "name": f"{router} -> out{output}", "cat": "hop",
+                "ph": "i", "s": "t", "pid": 1, "tid": tid,
+                "ts": _us(hop_ps)})
+    for event in others:
+        details = {key: value for key, value in sorted(event.details.items())}
+        if "packet" in details and details["packet"] in ordinals:
+            details["packet"] = ordinals[details["packet"]]
+        details["source"] = event.source
+        trace_events.append({
+            "name": event.kind, "cat": "event", "ph": "i", "s": "t",
+            "pid": 1, "tid": _EVENTS_TID, "ts": _us(event.time_ps),
+            "args": details})
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def write_perfetto(events: Iterable,
+                   target: Union[str, IO[str]]) -> int:
+    """Write the trace_event JSON; returns the number of trace events."""
+    document = trace_to_perfetto(events)
+    handle, owned = (target, False) if hasattr(target, "write") else (
+        open(target, "w", encoding="utf-8"), True)
+    try:
+        json.dump(document, handle, sort_keys=True)
+    finally:
+        if owned:
+            handle.close()
+    return len(document["traceEvents"])

@@ -1,0 +1,124 @@
+"""Value-change-dump (VCD) export of sampled signal series.
+
+Turns the sampler's per-metric columns into a standard four-state VCD
+waveform readable by GTKWave/Surfer: integer-valued series become binary
+vectors, float-valued series become ``real`` variables, and ``None``
+samples (a probe disabled mid-run) render as ``x``.  Timestamps are in
+picoseconds (``$timescale 1ps``), computed as ``cycle * period_ps`` so the
+waveform lines up with simulator time, and only changes are emitted —
+exactly VCD's model, and exactly what the capture rings record.
+
+The output is a pure function of the series (identifier codes are
+assigned in series order, no wall-clock ``$date`` stamp), so golden tests
+can pin a fingerprint of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, List, Sequence, Union
+
+#: Printable VCD identifier alphabet (the standard '!'..'~' range).
+_ID_FIRST = 33
+_ID_LAST = 126
+_ID_SPAN = _ID_LAST - _ID_FIRST + 1
+
+
+def vcd_identifier(index: int) -> str:
+    """Deterministic short identifier code for the ``index``-th signal."""
+    if index < 0:
+        raise ValueError(f"signal index must be non-negative, got {index}")
+    code = ""
+    index += 1
+    while index > 0:
+        index -= 1
+        code = chr(_ID_FIRST + index % _ID_SPAN) + code
+        index //= _ID_SPAN
+    return code
+
+
+def _is_real_series(values: Sequence[object]) -> bool:
+    return any(isinstance(value, float) for value in values)
+
+
+def _vector_width(values: Sequence[object]) -> int:
+    width = 1
+    for value in values:
+        if isinstance(value, int) and value > 0:
+            width = max(width, value.bit_length())
+    return width
+
+
+def _format_value(value: object, real: bool, identifier: str) -> str:
+    if real:
+        if value is None:
+            return f"r0 {identifier}"
+        return f"r{float(value):.6g} {identifier}"
+    if value is None:
+        return f"bx {identifier}"
+    value = int(value)
+    if value < 0:
+        # Two's complement is overkill for probe metrics; mark negatives
+        # (e.g. slot_owner -1 = unreserved) as all-x for waveform clarity.
+        return f"bx {identifier}"
+    return f"b{value:b} {identifier}"
+
+
+def write_vcd(target: Union[str, IO[str]], cycles: Sequence[int],
+              series: Dict[str, Sequence[object]], *, period_ps: int = 1,
+              module: str = "repro") -> int:
+    """Write ``series`` (name -> values aligned with ``cycles``) as VCD.
+
+    Returns the number of signals written.  Ragged columns (shorter than
+    ``cycles``) simply stop changing at their last sample.
+    """
+    handle, owned = (target, False) if hasattr(target, "write") else (
+        open(target, "w", encoding="utf-8"), True)
+    try:
+        return _write(handle, cycles, series, period_ps, module)
+    finally:
+        if owned:
+            handle.close()
+
+
+def _write(handle: IO[str], cycles: Sequence[int],
+           series: Dict[str, Sequence[object]], period_ps: int,
+           module: str) -> int:
+    names = list(series)
+    reals = {name: _is_real_series(series[name]) for name in names}
+    idents = {name: vcd_identifier(index) for index, name in enumerate(names)}
+    handle.write("$comment repro.obs deterministic waveform export $end\n")
+    handle.write("$timescale 1ps $end\n")
+    handle.write(f"$scope module {module} $end\n")
+    for name in names:
+        if reals[name]:
+            handle.write(f"$var real 64 {idents[name]} {name} $end\n")
+        else:
+            width = _vector_width(series[name])
+            handle.write(f"$var wire {width} {idents[name]} {name} $end\n")
+    handle.write("$upscope $end\n")
+    handle.write("$enddefinitions $end\n")
+
+    last: Dict[str, object] = {}
+    pending: List[str] = []
+    for row, cycle in enumerate(cycles):
+        for name in names:
+            column = series[name]
+            if row >= len(column):
+                continue
+            value = column[row]
+            if name in last and last[name] == value:
+                continue
+            last[name] = value
+            pending.append(_format_value(value, reals[name], idents[name]))
+        if pending:
+            handle.write(f"#{cycle * period_ps}\n")
+            if row == 0:
+                handle.write("$dumpvars\n")
+                for line in pending:
+                    handle.write(line + "\n")
+                handle.write("$end\n")
+            else:
+                for line in pending:
+                    handle.write(line + "\n")
+            del pending[:]
+    return len(names)

@@ -111,21 +111,39 @@ class Tracer:
             listener(event)
 
     def filter(self, kind: Optional[str] = None,
-               source: Optional[str] = None) -> List[TraceEvent]:
+               source: Optional[str] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None,
+               ) -> List[TraceEvent]:
         out = self.events
         if kind is not None:
             out = [e for e in out if e.kind == kind]
         if source is not None:
             out = [e for e in out if e.source == source]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
         return list(out)
 
     def clear(self) -> None:
         self.events.clear()
 
-    def dump(self, limit: Optional[int] = None) -> str:
+    def dump(self, limit: Optional[int] = None, *,
+             tail: Optional[int] = None) -> str:
+        """Render retained events, newest-last.
+
+        ``tail=N`` always renders the N most recent events.  ``limit=N``
+        renders the N most recent when a ring buffer is active (the
+        retained window already is "the moments around the trigger", so
+        the interesting end is the newest) and the N oldest otherwise
+        (chronological head of an unbounded trace).
+        """
         events = list(self.events)
-        if limit is not None:
-            events = events[:limit]
+        if tail is not None:
+            events = events[-tail:] if tail > 0 else []
+        elif limit is not None:
+            if self.ring_buffer is not None:
+                events = events[-limit:] if limit > 0 else []
+            else:
+                events = events[:limit]
         return "\n".join(str(e) for e in events)
 
 

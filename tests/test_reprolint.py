@@ -243,6 +243,21 @@ FIXTURES = [
                     link.send_burst(flits[:length])
         """,
     ),
+    (
+        "obs-hot-disabled",
+        """
+        class BufferProbe:
+            def sample(self, cycle, sink):
+                sink.append({"cycle": cycle, "depth": len(self.queue)})
+        """,
+        """
+        class BufferProbe:
+            def sample(self, cycle, sink):
+                if not self.enabled:
+                    return
+                sink.append(len(self.queue))
+        """,
+    ),
 ]
 
 ALL_RULE_IDS = sorted(rule for rule, _, _ in FIXTURES)

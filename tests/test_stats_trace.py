@@ -159,6 +159,17 @@ class TestTracer:
         assert len(tracer.filter(source="a")) == 2
         assert len(tracer.filter(kind="x", source="a")) == 1
 
+    def test_filter_predicate(self):
+        tracer = Tracer()
+        for i in range(6):
+            tracer.record(i * 10, "a" if i % 2 else "b", "x", seq=i)
+        late = tracer.filter(predicate=lambda e: e.time_ps >= 30)
+        assert [e.details["seq"] for e in late] == [3, 4, 5]
+        # predicate composes with the kind/source filters.
+        both = tracer.filter(source="a",
+                             predicate=lambda e: e.details["seq"] > 1)
+        assert [e.details["seq"] for e in both] == [3, 5]
+
     def test_max_events_cap(self):
         tracer = Tracer(max_events=2)
         for _ in range(5):
@@ -205,7 +216,29 @@ class TestTracerRingBuffer:
         tracer.record(1, "b", "x")
         tracer.record(2, "a", "y")
         assert len(tracer.filter(source="a")) == 1
-        assert "b" in tracer.dump(limit=1)
+        # With a ring buffer the retained window is "the moments around
+        # the trigger", so limit= renders the newest events, not the head.
+        dumped = tracer.dump(limit=1)
+        assert "y" in dumped and "b" not in dumped
+
+    def test_dump_limit_is_chronological_head_without_ring(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(i, "s", "k", seq=i)
+        assert "seq=0" in tracer.dump(limit=1)
+        assert "seq=4" not in tracer.dump(limit=1)
+
+    def test_dump_tail_renders_newest_regardless_of_storage(self):
+        unbounded = Tracer()
+        ring = Tracer(ring_buffer=3)
+        for i in range(5):
+            unbounded.record(i, "s", "k", seq=i)
+            ring.record(i, "s", "k", seq=i)
+        for tracer in (unbounded, ring):
+            dumped = tracer.dump(tail=2)
+            assert "seq=3" in dumped and "seq=4" in dumped
+            assert "seq=2" not in dumped
+        assert unbounded.dump(tail=0) == ""
 
 
 class TestTracerTrigger:
