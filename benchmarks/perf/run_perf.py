@@ -52,6 +52,10 @@ median wall time regressed by more than ``--regression-pct`` (default 20%).
 Scenarios whose cycle counts differ between the two reports are skipped
 (with a note) rather than compared apples-to-oranges.  This is the CI gate
 ``make check`` runs against the tracked ``BENCH_PERF.json``.
+
+``--profile`` replaces benchmarking with one cProfile pass per selected
+scenario and prints the top functions by cumulative time (paths relative to
+the repo root), for chasing engine hot spots without a separate harness.
 """
 
 from __future__ import annotations
@@ -260,16 +264,7 @@ def run_suite(quick: bool, repeats: int,
         "repeats": repeats,
         "scenarios": {},
     }
-    selected = dict(SCENARIOS)
-    if only:
-        unknown = [name for name in only if name not in SCENARIOS]
-        if unknown:
-            raise SystemExit(
-                f"unknown scenario(s) {unknown} "
-                f"(known: {', '.join(SCENARIOS)})")
-        selected = {name: SCENARIOS[name] for name in SCENARIOS
-                    if name in only}
-    for name, func in selected.items():
+    for name, func in _select(only).items():
         cycles = CYCLES[name][1 if quick else 0]
         active = _time_runs(func, cycles, repeats)
         with always_tick():
@@ -298,13 +293,59 @@ def run_suite(quick: bool, repeats: int,
     return report
 
 
+def _select(only: Optional[List[str]]) -> Dict[str, Callable]:
+    """The scenario subset named by ``--only`` (all when unset)."""
+    if not only:
+        return dict(SCENARIOS)
+    unknown = [name for name in only if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown} "
+            f"(known: {', '.join(SCENARIOS)})")
+    return {name: SCENARIOS[name] for name in SCENARIOS if name in only}
+
+
+def profile_suite(quick: bool, only: Optional[List[str]], top: int) -> None:
+    """Run each selected scenario once under cProfile and dump the top-N
+    functions by cumulative time, with paths printed relative to the repo
+    root so the dump reads as engine modules (``src/repro/...``) rather
+    than machine-specific absolute paths."""
+    import cProfile
+    import pstats
+
+    for name, func in _select(only).items():
+        cycles = CYCLES[name][1 if quick else 0]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        func(cycles)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        rows = sorted(stats.stats.items(),
+                      key=lambda item: item[1][3], reverse=True)
+        print(f"\n== profile: {name} ({cycles} flit cycles, "
+              f"top {top} by cumulative time) ==")
+        print(f"{'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function")
+        for (filename, lineno, funcname), data in rows[:top]:
+            ncalls, _, tottime, cumtime, _ = data
+            if filename.startswith(_REPO_ROOT):
+                location = os.path.relpath(filename, _REPO_ROOT)
+                where = f"{location}:{lineno}({funcname})"
+            elif filename == "~":
+                where = funcname  # C builtins
+            else:
+                where = f"{os.path.basename(filename)}:{lineno}({funcname})"
+            print(f"{ncalls:>10} {tottime:>9.3f} {cumtime:>9.3f}  {where}")
+
+
 def compare_reports(new: Dict[str, object], old: Dict[str, object],
                     regression_pct: float) -> int:
     """Print per-scenario wall/event deltas vs ``old``; count regressions.
 
     Returns the number of scenarios that regressed beyond ``regression_pct``
     percent.  When both reports ran a scenario for the same number of flit
-    cycles, the gated metric is median wall time (activity mode).  When the
+    cycles, the gated metric is the minimum wall time over the run triplet
+    (activity mode) — the noise floor, since interference only ever adds
+    time, a single slow repeat cannot fake a regression.  When the
     cycle counts differ (e.g. a ``--quick`` run compared against the tracked
     full-run ``BENCH_PERF.json``), wall times are not comparable — instead
     the deterministic *events per flit cycle* rate is gated: the event count
@@ -321,8 +362,14 @@ def compare_reports(new: Dict[str, object], old: Dict[str, object],
         if old_entry is None:
             print(f"{name:>16}: (new scenario, no baseline)")
             continue
-        new_wall = entry["activity"]["median_wall_s"]
-        old_wall = old_entry["activity"]["median_wall_s"]
+        # Gate on the *minimum* of the run triplet, not the median: the
+        # minimum is the least noise-contaminated estimate of the true cost
+        # (scheduler preemption and cache pollution only ever add time), so
+        # a shared-runner hiccup in one repeat cannot fake a regression.
+        new_wall = min(entry["activity"].get("wall_s_runs")
+                       or [entry["activity"]["median_wall_s"]])
+        old_wall = min(old_entry["activity"].get("wall_s_runs")
+                       or [old_entry["activity"]["median_wall_s"]])
         new_events = entry["activity"]["executed_events"]
         old_events = old_entry["activity"]["executed_events"]
         new_cycles = entry["flit_cycles"]
@@ -383,6 +430,13 @@ def main(argv=None) -> int:
                              "file instead of replacing it")
     parser.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list scenario names and cycle counts, then exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each selected scenario once under cProfile "
+                             "and print the hottest functions instead of "
+                             "benchmarking (no output file is written)")
+    parser.add_argument("--profile-top", type=int, default=25, metavar="N",
+                        help="rows to print per scenario with --profile "
+                             "(default 25)")
     parser.add_argument("--compare", metavar="OLD.json", default=None,
                         help="diff this run against a previous report; exit "
                              "nonzero on wall-time regression beyond "
@@ -395,6 +449,9 @@ def main(argv=None) -> int:
         for name in SCENARIOS:
             full, quick = CYCLES[name]
             print(f"{name:>16}: {full} flit cycles ({quick} quick)")
+        return 0
+    if args.profile:
+        profile_suite(quick=args.quick, only=args.only, top=args.profile_top)
         return 0
     repeats = args.repeats if args.repeats else (1 if args.quick else 3)
     report = run_suite(quick=args.quick, repeats=repeats, only=args.only)
